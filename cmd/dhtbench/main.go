@@ -1,0 +1,56 @@
+// Command dhtbench regenerates Figure 6 of the paper: the distributed
+// hashtable case study, comparing foMPI-A (raw atomics), foMPI-RW and
+// RMA-RW across process counts and writer fractions.
+//
+// Usage:
+//
+//	dhtbench -scale medium
+//	dhtbench -p 64 -fw 0.05 -ops 50      # one configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmalocks/internal/bench"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "quick", "sweep size: quick, medium, full")
+		p     = flag.Int("p", 0, "run a single configuration with this process count")
+		fw    = flag.Float64("fw", 0.2, "writer fraction for -p mode")
+		ops   = flag.Int("ops", 20, "operations per process for -p mode")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *p > 0 {
+		for _, scheme := range []string{bench.SchemeFoMPIA, bench.SchemeFoMPIRW, bench.SchemeRMARW} {
+			r, err := bench.RunDHT(bench.DHTParams{Scheme: scheme, P: *p, FW: *fw, OpsPerProc: *ops})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s P=%-5d FW=%-5.3f total=%.3f ms (inserts=%d lookups=%d stored=%d)\n",
+				r.Scheme, r.P, r.FW, r.TotalTimeMs, r.Inserts, r.Lookups, r.Stored)
+		}
+		return
+	}
+	sc, err := bench.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	t, _, err := bench.Figure6(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+}

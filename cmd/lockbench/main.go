@@ -1,0 +1,74 @@
+// Command lockbench regenerates the microbenchmark figures of the paper's
+// evaluation (Figures 3, 4 and 5) on the simulated machine.
+//
+// Usage:
+//
+//	lockbench -figure 3b -scale medium
+//	lockbench -figure all -scale quick -csv
+//
+// Figures: 3a–3e (RMA-MCS vs D-MCS vs foMPI-Spin), 4a–4f (RMA-RW
+// parameter studies), 5a–5c (RMA-RW vs foMPI-RW). Scales: quick, medium,
+// full (the paper's 8…1024 process sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rmalocks/internal/bench"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "figure to regenerate (3a..3e, 4a..4f, 5a..5c, 6, or 'all')")
+		ablation = flag.String("ablation", "", "run an ablation instead: locality, network, or 'all'")
+		scale    = flag.String("scale", "quick", "sweep size: quick, medium, full")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	sc, err := bench.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *ablation != "" {
+		names := []string{*ablation}
+		if *ablation == "all" {
+			names = bench.AblationNames
+		}
+		for _, name := range names {
+			t, err := bench.RunAblation(name, sc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ablation %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+		return
+	}
+	names := []string{*figure}
+	if *figure == "all" {
+		names = bench.FigureNames
+	}
+	for _, name := range names {
+		start := time.Now()
+		t, err := bench.RunFigure(name, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		fmt.Fprintf(os.Stderr, "[figure %s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

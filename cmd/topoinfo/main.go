@@ -1,0 +1,83 @@
+// Command topoinfo prints the machine model the simulator would use for a
+// given configuration: element hierarchy, rank placement, the e(p,i) and
+// c(p) mappings of the paper, and the latency model tables.
+//
+// Usage:
+//
+//	topoinfo -nodes 4 -ppn 16 -tdc 16
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rmalocks/internal/rma"
+	"rmalocks/internal/topology"
+)
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 4, "compute nodes")
+		racks = flag.Int("racks", 0, "racks (0 = two-level machine)")
+		ppn   = flag.Int("ppn", 16, "processes per node")
+		tdc   = flag.Int("tdc", 0, "T_DC to show counter placement (0 = one per node)")
+	)
+	flag.Parse()
+
+	var topo *topology.Topology
+	if *racks > 0 {
+		topo = topology.MustNew([]int{1, *racks, *nodes}, *ppn)
+	} else {
+		topo = topology.TwoLevel(*nodes, *ppn)
+	}
+	fmt.Printf("machine: %v\n", topo)
+	for i := 1; i <= topo.Levels(); i++ {
+		fmt.Printf("level %d: %d elements", i, topo.Elements(i))
+		if topo.Elements(i) <= 8 {
+			fmt.Printf(" (leaders:")
+			for e := 0; e < topo.Elements(i); e++ {
+				fmt.Printf(" %d", topo.Leader(i, e))
+			}
+			fmt.Printf(")")
+		}
+		fmt.Println()
+	}
+
+	t := *tdc
+	if t == 0 {
+		t = *ppn
+	}
+	fmt.Printf("T_DC=%d: physical counters on ranks %v\n", t, topo.CounterRanks(t))
+
+	lat := rma.DefaultLatency(topo.MaxDistance())
+	fmt.Println("latency model (ns):")
+	fmt.Printf("  distance:   ")
+	for d := 0; d <= topo.MaxDistance(); d++ {
+		fmt.Printf("%8d", d)
+	}
+	fmt.Printf("\n  data RTT:   ")
+	for d := 0; d <= topo.MaxDistance(); d++ {
+		fmt.Printf("%8d", lat.DataRTT[d])
+	}
+	fmt.Printf("\n  atomic RTT: ")
+	for d := 0; d <= topo.MaxDistance(); d++ {
+		fmt.Printf("%8d", lat.AtomicRTT[d])
+	}
+	fmt.Printf("\n  atomic occ: ")
+	for d := 0; d <= topo.MaxDistance(); d++ {
+		fmt.Printf("%8d", lat.AtomicOcc[d])
+	}
+	fmt.Println()
+
+	fmt.Println("sample distances:")
+	pairs := [][2]int{{0, 0}, {0, 1}}
+	if topo.Procs() > *ppn {
+		pairs = append(pairs, [2]int{0, *ppn})
+	}
+	if *racks > 0 && topo.Procs() > topo.Procs() / *racks {
+		pairs = append(pairs, [2]int{0, topo.Procs() - 1})
+	}
+	for _, pr := range pairs {
+		fmt.Printf("  dist(%d,%d) = %d\n", pr[0], pr[1], topo.Distance(pr[0], pr[1]))
+	}
+}

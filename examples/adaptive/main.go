@@ -1,0 +1,74 @@
+// adaptive: runtime tuning of RMA-RW's reader threshold T_R — the
+// extension the paper sketches in §8 ("adaptive schemes for a runtime
+// selection and tuning of the values of the parameters").
+//
+// The workload runs in episodes; after each episode the controller
+// observes throughput and proposes the next T_R (hill climbing), settling
+// on a local optimum without any offline tuning.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmalocks"
+	"rmalocks/internal/adaptive"
+	"rmalocks/internal/locks/rmarw"
+	"rmalocks/internal/rma"
+	"rmalocks/internal/topology"
+)
+
+const (
+	nodes  = 4
+	ppn    = 8
+	iters  = 60
+	fwPct  = 2 // 2% writers
+	maxEps = 12
+)
+
+func main() {
+	topo := topology.TwoLevel(nodes, ppn)
+	machine := rma.NewMachineConfig(topo, rma.Config{TimeLimit: 1 << 42})
+	lock := rmarw.NewConfig(machine, rmarw.Config{TR: 128})
+	ctl := adaptive.New(adaptive.Config{InitialTR: 128, MinTR: 64, MaxTR: 1 << 16})
+
+	episode := func() float64 {
+		err := machine.Run(func(p *rmalocks.Proc) {
+			rng := p.Rand()
+			for i := 0; i < iters; i++ {
+				if rng.Intn(100) < fwPct {
+					lock.AcquireWrite(p)
+					p.Compute(300)
+					lock.ReleaseWrite(p)
+				} else {
+					lock.AcquireRead(p)
+					p.Compute(300)
+					lock.ReleaseRead(p)
+				}
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ops := float64(machine.Procs() * iters)
+		return ops / float64(machine.MaxClock()) * 1e3 // mln locks/s
+	}
+
+	fmt.Printf("Adaptive T_R tuning on %v, F_W=%d%%\n\n", topo, fwPct)
+	fmt.Printf("%-8s %-8s %-12s %s\n", "episode", "T_R", "mln locks/s", "")
+	for ep := 1; ep <= maxEps && !ctl.Settled(); ep++ {
+		lock.SetTR(ctl.TR())
+		th := episode()
+		fmt.Printf("%-8d %-8d %-12.3f backoffs=%d modeChanges=%d\n",
+			ep, lock.TR(), th, lock.ReaderBackoffs, lock.ModeChanges)
+		ctl.Report(adaptive.Observation{
+			ThroughputMops: th,
+			ReaderBackoffs: lock.ReaderBackoffs,
+			ModeChanges:    lock.ModeChanges,
+		})
+	}
+	best, th := ctl.Best()
+	fmt.Printf("\nsettled after %d moves: T_R=%d (%.3f mln locks/s)\n", ctl.Moves(), best, th)
+}

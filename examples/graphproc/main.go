@@ -1,0 +1,75 @@
+// graphproc: irregular graph processing with fine-grained vertex locks —
+// the workload class the paper's single-operation benchmark (SOB) models.
+// Processes relax edges of a random graph; every vertex is protected by a
+// lock, and we compare the topology-aware RMA-MCS with the baselines.
+//
+// Run with: go run ./examples/graphproc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rmalocks"
+	"rmalocks/internal/locks"
+)
+
+const (
+	nodes    = 4
+	ppn      = 8
+	vertices = 64
+	relaxes  = 60 // edge relaxations per process
+)
+
+func run(name string, mk func(m *rmalocks.Machine) locks.Mutex) {
+	machine := rmalocks.NewMachine(rmalocks.MachineSpec{Nodes: nodes, ProcsPerNode: ppn})
+	// Vertex data: one word per vertex, distributed round-robin over the
+	// ranks (vertex v lives on rank v%P at offset base+v/P).
+	p := machine.Procs()
+	perRank := (vertices + p - 1) / p
+	base := machine.Alloc(perRank)
+	// One lock protects the whole partition in this demo (the paper's
+	// DHT study uses the same single-lock setup; per-vertex locks work
+	// the same way, one Alloc per lock).
+	lock := mk(machine)
+
+	edges := rand.New(rand.NewSource(7))
+	_ = edges
+
+	err := machine.Run(func(pr *rmalocks.Proc) {
+		rng := pr.Rand()
+		for i := 0; i < relaxes; i++ {
+			u := rng.Intn(vertices)
+			v := rng.Intn(vertices)
+			lock.Acquire(pr)
+			// Relax: dist[v] = min(dist[v], dist[u]+1), two remote words.
+			du := pr.Get(u%p, base+u/p)
+			pr.Flush(u % p)
+			dv := pr.Get(v%p, base+v/p)
+			pr.Flush(v % p)
+			if du+1 < dv || dv == 0 {
+				pr.Put(du+1, v%p, base+v/p)
+				pr.Flush(v % p)
+			}
+			lock.Release(pr)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := machine.Procs() * relaxes
+	ms := float64(machine.MaxClock()) / 1e6
+	fmt.Printf("%-12s %8.3f ms  (%.2f mln relaxations/s, %d remote ops)\n",
+		name, ms, float64(total)/ms/1e3, machine.Stats().Remote())
+}
+
+func main() {
+	fmt.Printf("Vertex-locked graph relaxation: %d procs, %d vertices, %d relaxations/proc\n\n",
+		nodes*ppn, vertices, relaxes)
+	run("foMPI-Spin", func(m *rmalocks.Machine) locks.Mutex { return rmalocks.NewFoMPISpin(m) })
+	run("D-MCS", func(m *rmalocks.Machine) locks.Mutex { return rmalocks.NewDMCS(m) })
+	run("RMA-MCS", func(m *rmalocks.Machine) locks.Mutex { return rmalocks.NewRMAMCS(m, rmalocks.MCSParams{}) })
+	fmt.Println("\nRMA-MCS keeps consecutive critical sections on the same node")
+	fmt.Println("(locality threshold T_L), cutting inter-node lock transfers.")
+}

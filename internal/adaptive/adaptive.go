@@ -1,0 +1,140 @@
+// Package adaptive implements the runtime parameter selection the paper
+// sketches as future work (§8): "RMA-RW could also be extended with
+// adaptive schemes for a runtime selection and tuning of the values of
+// the parameters."
+//
+// The Controller is a deterministic hill climber over the reader
+// threshold T_R (the paper's own tuning recipe in §6 fixes T_DC first and
+// then adjusts T_R, which is exactly the knob with a smooth throughput
+// response). Episodes of the workload run with the current T_R; after
+// each episode the caller reports the observed throughput and the
+// controller proposes the next T_R, converging on a local optimum and
+// then holding.
+package adaptive
+
+import "fmt"
+
+// Observation summarizes one finished episode.
+type Observation struct {
+	// ThroughputMops is the episode's aggregate throughput.
+	ThroughputMops float64
+	// ReaderBackoffs and ModeChanges are the lock's counters for the
+	// episode (diagnostics; not used by the current policy).
+	ReaderBackoffs int64
+	ModeChanges    int64
+}
+
+// Controller hill-climbs T_R by multiplicative steps.
+type Controller struct {
+	cur     int64
+	step    float64 // multiplicative step, e.g. 2.0
+	dir     int     // +1 growing, -1 shrinking
+	minTR   int64
+	maxTR   int64
+	bestTR  int64
+	bestTh  float64
+	lastTh  float64
+	settled bool
+	moves   int
+}
+
+// Config bounds the search.
+type Config struct {
+	// InitialTR is the starting reader threshold (default 1000).
+	InitialTR int64
+	// MinTR/MaxTR clamp the search range (defaults 16 and 1<<20).
+	MinTR, MaxTR int64
+	// Step is the multiplicative step (default 2.0).
+	Step float64
+}
+
+// New builds a controller.
+func New(cfg Config) *Controller {
+	if cfg.InitialTR == 0 {
+		cfg.InitialTR = 1000
+	}
+	if cfg.MinTR == 0 {
+		cfg.MinTR = 16
+	}
+	if cfg.MaxTR == 0 {
+		cfg.MaxTR = 1 << 20
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 2.0
+	}
+	if cfg.MinTR > cfg.InitialTR || cfg.InitialTR > cfg.MaxTR || cfg.Step <= 1 {
+		panic(fmt.Sprintf("adaptive: invalid config %+v", cfg))
+	}
+	return &Controller{
+		cur:   cfg.InitialTR,
+		step:  cfg.Step,
+		dir:   +1,
+		minTR: cfg.MinTR,
+		maxTR: cfg.MaxTR,
+	}
+}
+
+// TR returns the reader threshold to use for the next episode.
+func (c *Controller) TR() int64 { return c.cur }
+
+// Settled reports whether the climber has stopped moving.
+func (c *Controller) Settled() bool { return c.settled }
+
+// Best returns the best (T_R, throughput) seen so far.
+func (c *Controller) Best() (int64, float64) { return c.bestTR, c.bestTh }
+
+// Moves returns how many times the controller changed T_R.
+func (c *Controller) Moves() int { return c.moves }
+
+// Report feeds the result of the episode that ran with the current T_R
+// and advances the climber. The policy: keep moving in the current
+// direction while throughput improves; on the first regression, reverse
+// once; on the second, settle on the best T_R seen.
+func (c *Controller) Report(o Observation) {
+	th := o.ThroughputMops
+	if th > c.bestTh {
+		c.bestTh = th
+		c.bestTR = c.cur
+	}
+	if c.settled {
+		return
+	}
+	improved := th > c.lastTh
+	first := c.lastTh == 0
+	c.lastTh = th
+	if first || improved {
+		c.move()
+		return
+	}
+	// Regression: reverse once, or settle at the best point.
+	if c.dir == +1 {
+		c.dir = -1
+		c.cur = c.bestTR
+		c.move()
+		return
+	}
+	c.cur = c.bestTR
+	c.settled = true
+}
+
+func (c *Controller) move() {
+	next := c.cur
+	if c.dir > 0 {
+		next = int64(float64(c.cur) * c.step)
+	} else {
+		next = int64(float64(c.cur) / c.step)
+	}
+	if next < c.minTR {
+		next = c.minTR
+	}
+	if next > c.maxTR {
+		next = c.maxTR
+	}
+	if next == c.cur {
+		c.settled = true
+		c.cur = c.bestTR
+		return
+	}
+	c.cur = next
+	c.moves++
+}

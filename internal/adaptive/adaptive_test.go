@@ -1,0 +1,118 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"rmalocks/internal/locks/rmarw"
+	"rmalocks/internal/rma"
+	"rmalocks/internal/topology"
+)
+
+func TestClimbsTowardPeak(t *testing.T) {
+	// Synthetic unimodal response: throughput peaks at T_R = 4096.
+	resp := func(tr int64) float64 {
+		x := math.Log2(float64(tr)) - 12 // peak at 2^12
+		return 10 - x*x
+	}
+	c := New(Config{InitialTR: 256})
+	for i := 0; i < 40 && !c.Settled(); i++ {
+		c.Report(Observation{ThroughputMops: resp(c.TR())})
+	}
+	if !c.Settled() {
+		t.Fatal("controller did not settle")
+	}
+	best, _ := c.Best()
+	if best < 1024 || best > 16384 {
+		t.Errorf("settled at T_R=%d, want near 4096", best)
+	}
+}
+
+func TestSettlesAtBoundary(t *testing.T) {
+	// Monotonically increasing response: must settle at MaxTR.
+	c := New(Config{InitialTR: 64, MaxTR: 1024})
+	for i := 0; i < 40 && !c.Settled(); i++ {
+		c.Report(Observation{ThroughputMops: float64(c.TR())})
+	}
+	best, _ := c.Best()
+	if best != 1024 {
+		t.Errorf("best=%d want 1024 (boundary)", best)
+	}
+}
+
+func TestDecreasingResponseReverses(t *testing.T) {
+	// Monotonically decreasing response: must reverse and settle at MinTR.
+	c := New(Config{InitialTR: 1024, MinTR: 32})
+	for i := 0; i < 40 && !c.Settled(); i++ {
+		c.Report(Observation{ThroughputMops: 1.0 / float64(c.TR())})
+	}
+	best, _ := c.Best()
+	if best > 64 {
+		t.Errorf("best=%d want near MinTR=32", best)
+	}
+}
+
+func TestReportAfterSettleIsStable(t *testing.T) {
+	c := New(Config{InitialTR: 64, MaxTR: 128})
+	for i := 0; i < 20; i++ {
+		c.Report(Observation{ThroughputMops: 1})
+	}
+	tr := c.TR()
+	c.Report(Observation{ThroughputMops: 100})
+	if c.TR() != tr {
+		t.Error("settled controller moved")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config did not panic")
+		}
+	}()
+	New(Config{InitialTR: 10, MinTR: 100})
+}
+
+func TestEndToEndEpisodesWithRealLock(t *testing.T) {
+	// Run the real RMA-RW lock in episodes, letting the controller move
+	// T_R between runs. The point is integration (SetTR between runs is
+	// safe and deterministic), not that the climb finds a global optimum.
+	topo := topology.TwoLevel(2, 4)
+	m := rma.NewMachineConfig(topo, rma.Config{TimeLimit: 1 << 40})
+	lock := rmarw.NewConfig(m, rmarw.Config{TR: 64})
+	c := New(Config{InitialTR: 64, MinTR: 8, MaxTR: 4096})
+
+	episode := func() float64 {
+		err := m.Run(func(p *rma.Proc) {
+			for i := 0; i < 20; i++ {
+				if p.Rank() == 0 && i%5 == 0 {
+					lock.AcquireWrite(p)
+					p.Compute(200)
+					lock.ReleaseWrite(p)
+				} else {
+					lock.AcquireRead(p)
+					p.Compute(200)
+					lock.ReleaseRead(p)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := float64(20 * topo.Procs())
+		return ops / float64(m.MaxClock()) * 1e3
+	}
+
+	for ep := 0; ep < 10 && !c.Settled(); ep++ {
+		lock.SetTR(c.TR())
+		c.Report(Observation{
+			ThroughputMops: episode(),
+			ReaderBackoffs: lock.ReaderBackoffs,
+			ModeChanges:    lock.ModeChanges,
+		})
+	}
+	best, th := c.Best()
+	if best < 8 || best > 4096 || th <= 0 {
+		t.Errorf("bad outcome: best TR=%d th=%f", best, th)
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+
+	"rmalocks/internal/locks/rmamcs"
+	"rmalocks/internal/rma"
+	"rmalocks/internal/stats"
+	"rmalocks/internal/topology"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: they probe
+// the design choices directly rather than reproducing a paper figure.
+//
+//   - AblationLocality quantifies the fairness-vs-locality trade of the
+//     T_L threshold (Figure 1's DQ axis): throughput, tail latency and
+//     the fraction of acquisitions that short-cut within a node.
+//   - AblationNetwork re-runs the Figure 3b comparison with the
+//     inter-node network scaled faster/slower, showing how far the
+//     paper's conclusions depend on the network-to-local cost ratio.
+
+// AblationNames lists the ablation runners for CLI dispatch.
+var AblationNames = []string{"locality", "network"}
+
+// RunAblation dispatches an ablation by name.
+func RunAblation(name string, sc Scale) (*stats.Table, error) {
+	switch name {
+	case "locality":
+		return AblationLocality(sc)
+	case "network":
+		return AblationNetwork(sc)
+	default:
+		return nil, fmt.Errorf("bench: unknown ablation %q (locality|network)", name)
+	}
+}
+
+// AblationLocality sweeps the node-level locality threshold T_L,2 of
+// RMA-MCS at a fixed process count and reports the throughput / tail
+// latency / shortcut-fraction trade-off.
+func AblationLocality(sc Scale) (*stats.Table, error) {
+	P := sc.Ps[len(sc.Ps)-1]
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: T_L,2 fairness-vs-locality trade, RMA-MCS, ECSB, P=%d", P),
+		Columns: []string{"T_L2", "Throughput[mln/s]", "MeanLat[us]", "P99Lat[us]", "Shortcut[%]"},
+	}
+	for _, tl := range []int64{1, 2, 4, 8, 16, 32, 64, 128} {
+		r, err := RunMutex(MutexParams{
+			Scheme: SchemeRMAMCS, P: P, Workload: ECSB,
+			Iters: sc.Iters, TL: []int64{0, 0, tl},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(tl), stats.FmtF(r.ThroughputMops),
+			stats.FmtF(r.Latency.Mean), stats.FmtF(r.Latency.P99),
+			stats.FmtF(r.DirectFraction()*100))
+	}
+	return t, nil
+}
+
+// AblationNetwork re-runs the ECSB scheme comparison with the inter-node
+// costs scaled by several factors, checking that the paper's ordering
+// (RMA-MCS ≥ D-MCS ≥ foMPI-Spin at scale) is a property of having *any*
+// expensive network, not of one calibration point.
+func AblationNetwork(sc Scale) (*stats.Table, error) {
+	P := sc.Ps[len(sc.Ps)-1]
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: inter-node cost sensitivity, ECSB, P=%d", P),
+		Columns: []string{"NetScale[%]", "Scheme", "Throughput[mln/s]"},
+	}
+	for _, pct := range []int64{50, 100, 200, 400} {
+		for _, scheme := range MutexSchemes {
+			r, err := runMutexWithLatency(MutexParams{
+				Scheme: scheme, P: P, Workload: ECSB, Iters: sc.Iters,
+			}, scaleRemote(pct))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprint(pct), scheme, stats.FmtF(r.ThroughputMops))
+		}
+	}
+	return t, nil
+}
+
+// scaleRemote returns the default latency model with every entry at
+// distance >= 2 (inter-node and beyond) scaled to pct percent.
+func scaleRemote(pct int64) func(maxDist int) rma.LatencyModel {
+	return func(maxDist int) rma.LatencyModel {
+		lat := rma.DefaultLatency(maxDist)
+		scale := func(tab []int64) {
+			for d := 2; d < len(tab); d++ {
+				v := tab[d] * pct / 100
+				if v < 1 {
+					v = 1
+				}
+				tab[d] = v
+			}
+		}
+		scale(lat.DataRTT)
+		scale(lat.AtomicRTT)
+		scale(lat.DataOcc)
+		scale(lat.AtomicOcc)
+		return lat
+	}
+}
+
+// runMutexWithLatency is RunMutex with a custom latency model factory.
+func runMutexWithLatency(params MutexParams, mkLat func(maxDist int) rma.LatencyModel) (Result, error) {
+	params.fill()
+	topo := topology.ForProcs(params.P, params.ProcsPerNode)
+	lat := mkLat(topo.MaxDistance())
+	m := rma.NewMachineConfig(topo, rma.Config{Seed: params.Seed, TimeLimit: timeLimit, Latency: &lat})
+	mu, err := newMutex(m, params)
+	if err != nil {
+		return Result{}, err
+	}
+	dataOff := m.Alloc(1)
+	warmup := params.Iters/10 + 1
+	lats := make([][]float64, m.Procs())
+	ends := make([]int64, m.Procs())
+	var start int64
+	runErr := m.Run(func(p *rma.Proc) {
+		mine := make([]float64, 0, params.Iters)
+		for i := 0; i < warmup; i++ {
+			mu.Acquire(p)
+			csWork(p, params.Workload, dataOff, true)
+			mu.Release(p)
+			afterWork(p, params.Workload)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			start = p.Now()
+		}
+		for i := 0; i < params.Iters; i++ {
+			t0 := p.Now()
+			mu.Acquire(p)
+			csWork(p, params.Workload, dataOff, true)
+			mu.Release(p)
+			mine = append(mine, float64(p.Now()-t0)/1e3)
+			afterWork(p, params.Workload)
+		}
+		ends[p.Rank()] = p.Now()
+		lats[p.Rank()] = mine
+	})
+	if runErr != nil {
+		return Result{}, fmt.Errorf("bench: %s P=%d: %w", params.Scheme, params.P, runErr)
+	}
+	res := summarize(params.Scheme, params.P, m, start, ends, lats)
+	res.WarmupOps = int64(warmup * m.Procs())
+	if l, ok := mu.(*rmamcs.Lock); ok {
+		res.DirectEntries = l.DirectEntries
+	}
+	return res, nil
+}

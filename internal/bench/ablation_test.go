@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationLocalityTable(t *testing.T) {
+	tiny := Scale{Name: "tiny", Ps: []int{16}, Iters: 15}
+	tb, err := AblationLocality(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows=%d want 8", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Title, "T_L,2") {
+		t.Errorf("bad title %q", tb.Title)
+	}
+}
+
+func TestAblationLocalityShortcutGrowsWithTL(t *testing.T) {
+	// More locality budget must produce at least as many shortcuts.
+	lo, err := RunMutex(MutexParams{Scheme: SchemeRMAMCS, P: 32, Workload: ECSB,
+		Iters: 25, TL: []int64{0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := RunMutex(MutexParams{Scheme: SchemeRMAMCS, P: 32, Workload: ECSB,
+		Iters: 25, TL: []int64{0, 0, 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.DirectEntries <= lo.DirectEntries {
+		t.Errorf("shortcuts: TL=128 gave %d, TL=1 gave %d; expected growth",
+			hi.DirectEntries, lo.DirectEntries)
+	}
+	if hi.ThroughputMops <= lo.ThroughputMops {
+		t.Errorf("throughput: TL=128 %.3f <= TL=1 %.3f; locality should pay off",
+			hi.ThroughputMops, lo.ThroughputMops)
+	}
+}
+
+func TestAblationNetworkOrderingRobust(t *testing.T) {
+	tiny := Scale{Name: "tiny", Ps: []int{32}, Iters: 15}
+	tb, err := AblationNetwork(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4*len(MutexSchemes) {
+		t.Fatalf("rows=%d", len(tb.Rows))
+	}
+}
+
+func TestScaleRemoteOnlyTouchesRemote(t *testing.T) {
+	lat := scaleRemote(200)(2)
+	base := scaleRemote(100)(2)
+	if lat.DataRTT[0] != base.DataRTT[0] || lat.DataRTT[1] != base.DataRTT[1] {
+		t.Error("local/intra-node latencies must not change")
+	}
+	if lat.DataRTT[2] != base.DataRTT[2]*2 {
+		t.Errorf("inter-node not doubled: %d vs %d", lat.DataRTT[2], base.DataRTT[2])
+	}
+}
+
+func TestRunAblationDispatch(t *testing.T) {
+	tiny := Scale{Name: "tiny", Ps: []int{16}, Iters: 10}
+	for _, name := range AblationNames {
+		if _, err := RunAblation(name, tiny); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := RunAblation("nope", tiny); err == nil {
+		t.Error("want error for unknown ablation")
+	}
+}

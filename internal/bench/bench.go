@@ -1,0 +1,244 @@
+// Package bench implements the paper's evaluation harness (§5): the five
+// microbenchmarks (LB, ECSB, SOB, WCSB, WARB), the reader/writer workload
+// generator, the distributed-hashtable benchmark, and per-figure runners
+// that regenerate every figure of the evaluation section as a text table.
+package bench
+
+import (
+	"fmt"
+
+	"rmalocks/internal/locks"
+	"rmalocks/internal/locks/dmcs"
+	"rmalocks/internal/locks/fompi"
+	"rmalocks/internal/locks/rmamcs"
+	"rmalocks/internal/locks/rmarw"
+	"rmalocks/internal/rma"
+	"rmalocks/internal/stats"
+	"rmalocks/internal/topology"
+)
+
+// Workload selects the critical-section and inter-acquire behaviour of a
+// benchmark iteration (§5, "Selection of Benchmarks").
+type Workload int
+
+const (
+	// ECSB: empty-critical-section benchmark.
+	ECSB Workload = iota
+	// SOB: single-operation benchmark (one remote memory access in the CS).
+	SOB
+	// WCSB: workload-critical-section benchmark (shared counter increment
+	// plus 1–4 µs of local work in the CS).
+	WCSB
+	// WARB: wait-after-release benchmark (1–4 µs pause between releases).
+	WARB
+)
+
+func (w Workload) String() string {
+	switch w {
+	case ECSB:
+		return "ECSB"
+	case SOB:
+		return "SOB"
+	case WCSB:
+		return "WCSB"
+	case WARB:
+		return "WARB"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// Mutex scheme names (comparison targets of §5.1).
+const (
+	SchemeFoMPISpin = "foMPI-Spin"
+	SchemeDMCS      = "D-MCS"
+	SchemeRMAMCS    = "RMA-MCS"
+)
+
+// RW scheme names (§5.2, §5.3).
+const (
+	SchemeFoMPIRW = "foMPI-RW"
+	SchemeRMARW   = "RMA-RW"
+	SchemeFoMPIA  = "foMPI-A" // DHT only: raw atomics, no lock
+)
+
+// MutexSchemes lists the mutex comparison targets in presentation order.
+var MutexSchemes = []string{SchemeFoMPISpin, SchemeDMCS, SchemeRMAMCS}
+
+// ProcsPerNode is the paper's machine configuration: 16 MPI processes per
+// compute node (one per hardware thread).
+const ProcsPerNode = 16
+
+// timeLimit bounds one benchmark run (virtual ns); generous, but converts
+// protocol livelock into an error instead of a hang.
+const timeLimit = 1 << 42 // ~73 min virtual
+
+// MutexParams configures one mutex benchmark run.
+type MutexParams struct {
+	Scheme       string
+	P            int
+	Workload     Workload
+	Iters        int // measured acquire/release cycles per process
+	Seed         int64
+	ProcsPerNode int     // default ProcsPerNode
+	TL           []int64 // RMA-MCS locality thresholds (optional)
+}
+
+// RWParams configures one reader-writer benchmark run.
+type RWParams struct {
+	Scheme       string
+	P            int
+	Workload     Workload // ECSB or SOB
+	FW           float64  // writer fraction, e.g., 0.002 for 0.2%
+	Iters        int
+	Seed         int64
+	ProcsPerNode int
+	// RMA-RW parameters (ignored by foMPI-RW).
+	TDC int
+	TR  int64
+	TL  []int64
+}
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	Scheme string
+	P      int
+	// ThroughputMops is aggregate lock acquires per second, in millions
+	// (the paper's "mln locks/s").
+	ThroughputMops float64
+	// Latency summarizes per-operation acquire+release latency in µs.
+	Latency stats.Summary
+	// MakespanMs is the measured phase's virtual duration.
+	MakespanMs float64
+	// Ops is the number of measured acquire/release cycles.
+	Ops int64
+	// WarmupOps is the number of discarded warm-up cycles (lock-level
+	// statistics such as DirectEntries cover warm-up too).
+	WarmupOps int64
+	// RemoteOps is the number of RMA operations that left their rank.
+	RemoteOps int64
+	// DirectEntries counts RMA-MCS acquisitions that short-cut into the
+	// CS through an intra-element pass (0 for other schemes), including
+	// warm-up cycles.
+	DirectEntries int64
+}
+
+// DirectFraction returns the share of all acquisitions (including
+// warm-up) that short-cut via an intra-element pass.
+func (r Result) DirectFraction() float64 {
+	total := r.Ops + r.WarmupOps
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DirectEntries) / float64(total)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s P=%d: %.3f mln locks/s, mean latency %.2f µs",
+		r.Scheme, r.P, r.ThroughputMops, r.Latency.Mean)
+}
+
+func (p *MutexParams) fill() {
+	if p.ProcsPerNode == 0 {
+		p.ProcsPerNode = ProcsPerNode
+	}
+	if p.Iters == 0 {
+		p.Iters = 50
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+func (p *RWParams) fill() {
+	if p.ProcsPerNode == 0 {
+		p.ProcsPerNode = ProcsPerNode
+	}
+	if p.Iters == 0 {
+		p.Iters = 50
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.TDC == 0 {
+		p.TDC = p.ProcsPerNode // one counter per compute node (§6)
+	}
+	if p.TR == 0 {
+		p.TR = 1000
+	}
+	if p.TL == nil {
+		p.TL = []int64{0, 40, 25} // T_W = 1000, the paper's Fig. 4c middle
+	}
+}
+
+// newMutex builds the mutex for a scheme on machine m.
+func newMutex(m *rma.Machine, p MutexParams) (locks.Mutex, error) {
+	switch p.Scheme {
+	case SchemeFoMPISpin:
+		return fompi.NewSpin(m), nil
+	case SchemeDMCS:
+		return dmcs.New(m), nil
+	case SchemeRMAMCS:
+		return rmamcs.NewConfig(m, rmamcs.Config{TL: p.TL}), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown mutex scheme %q", p.Scheme)
+	}
+}
+
+// newRW builds the RW lock for a scheme on machine m.
+func newRW(m *rma.Machine, p RWParams) (locks.RWMutex, error) {
+	switch p.Scheme {
+	case SchemeFoMPIRW:
+		return fompi.NewRW(m), nil
+	case SchemeRMARW:
+		return rmarw.NewConfig(m, rmarw.Config{TDC: p.TDC, TR: p.TR, TL: p.TL}), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown RW scheme %q", p.Scheme)
+	}
+}
+
+// machineFor builds the benchmark machine for P processes.
+func machineFor(P, ppn int, seed int64) *rma.Machine {
+	topo := topology.ForProcs(P, ppn)
+	return rma.NewMachineConfig(topo, rma.Config{Seed: seed, TimeLimit: timeLimit})
+}
+
+// csWork performs the critical-section body of a workload. dataOff is a
+// shared data word allocated on every rank; write selects a mutating
+// access (writers/mutex holders) vs a read access (readers).
+func csWork(p *rma.Proc, w Workload, dataOff int, write bool) {
+	switch w {
+	case ECSB, WARB:
+		// empty CS
+	case SOB:
+		// One memory access to the protected data (fine-grained graph
+		// processing); the data lives on a random rank.
+		target := p.Rand().Intn(p.Machine().Procs())
+		if write {
+			p.Put(1, target, dataOff)
+		} else {
+			p.Get(target, dataOff)
+		}
+		p.Flush(target)
+	case WCSB:
+		// Increment a shared counter, then 1–4 µs of local computation.
+		p.Accumulate(1, 0, dataOff, rma.OpSum)
+		p.Flush(0)
+		p.Compute(1000 + int64(p.Rand().Intn(3000)))
+	}
+}
+
+// afterWork performs the inter-acquire behaviour of a workload.
+func afterWork(p *rma.Proc, w Workload) {
+	if w == WARB {
+		p.Compute(1000 + int64(p.Rand().Intn(3000)))
+	}
+}
+
+// throughputMops converts (ops, makespan ns) to million ops per second.
+func throughputMops(ops int64, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(ops) / float64(ns) * 1e3
+}

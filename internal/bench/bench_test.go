@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMutexAllSchemes(t *testing.T) {
+	for _, scheme := range MutexSchemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			r, err := RunMutex(MutexParams{Scheme: scheme, P: 16, Workload: ECSB, Iters: 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ops != 16*20 {
+				t.Errorf("Ops=%d want 320", r.Ops)
+			}
+			if r.ThroughputMops <= 0 {
+				t.Errorf("non-positive throughput: %+v", r)
+			}
+			if r.Latency.Mean <= 0 {
+				t.Errorf("non-positive latency: %+v", r)
+			}
+		})
+	}
+}
+
+func TestRunMutexUnknownScheme(t *testing.T) {
+	if _, err := RunMutex(MutexParams{Scheme: "nope", P: 4}); err == nil {
+		t.Error("want error for unknown scheme")
+	}
+}
+
+func TestRunMutexWorkloads(t *testing.T) {
+	for _, wl := range []Workload{ECSB, SOB, WCSB, WARB} {
+		wl := wl
+		t.Run(wl.String(), func(t *testing.T) {
+			r, err := RunMutex(MutexParams{Scheme: SchemeRMAMCS, P: 8, Workload: wl, Iters: 15})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.ThroughputMops <= 0 {
+				t.Errorf("bad result: %+v", r)
+			}
+		})
+	}
+}
+
+func TestWorkloadsOrderedByCost(t *testing.T) {
+	// A CS with work (WCSB) must yield lower throughput than an empty CS.
+	ecsb, err := RunMutex(MutexParams{Scheme: SchemeDMCS, P: 16, Workload: ECSB, Iters: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcsb, err := RunMutex(MutexParams{Scheme: SchemeDMCS, P: 16, Workload: WCSB, Iters: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wcsb.ThroughputMops >= ecsb.ThroughputMops {
+		t.Errorf("WCSB %.3f >= ECSB %.3f mln/s", wcsb.ThroughputMops, ecsb.ThroughputMops)
+	}
+}
+
+func TestRunRWSchemes(t *testing.T) {
+	for _, scheme := range []string{SchemeRMARW, SchemeFoMPIRW} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			r, err := RunRW(RWParams{Scheme: scheme, P: 16, Workload: ECSB, FW: 0.1, Iters: 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ops != 16*20 || r.ThroughputMops <= 0 {
+				t.Errorf("bad result: %+v", r)
+			}
+		})
+	}
+}
+
+func TestRunRWDeterministic(t *testing.T) {
+	run := func() Result {
+		r, err := RunRW(RWParams{Scheme: SchemeRMARW, P: 16, Workload: SOB, FW: 0.25, Iters: 20, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.ThroughputMops != b.ThroughputMops || a.Latency.Mean != b.Latency.Mean {
+		t.Errorf("nondeterministic bench: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunDHTAllSchemes(t *testing.T) {
+	for _, scheme := range []string{SchemeFoMPIA, SchemeFoMPIRW, SchemeRMARW} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			r, err := RunDHT(DHTParams{Scheme: scheme, P: 8, FW: 0.2, OpsPerProc: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.TotalTimeMs <= 0 {
+				t.Errorf("bad total time: %+v", r)
+			}
+			if r.Inserts+r.Lookups != int64(7*10) { // P-1 clients
+				t.Errorf("ops=%d want 70", r.Inserts+r.Lookups)
+			}
+			if r.FW > 0 && r.Stored == 0 {
+				t.Errorf("nothing stored despite inserts: %+v", r)
+			}
+		})
+	}
+}
+
+func TestRunDHTPureReads(t *testing.T) {
+	r, err := RunDHT(DHTParams{Scheme: SchemeRMARW, P: 8, FW: 0, OpsPerProc: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Inserts != 0 || r.Stored != 0 {
+		t.Errorf("pure-read run inserted: %+v", r)
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, n := range []string{"quick", "medium", "full"} {
+		s, err := ScaleByName(n)
+		if err != nil || s.Name != n {
+			t.Errorf("ScaleByName(%q) = %+v, %v", n, s, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("want error for bogus scale")
+	}
+}
+
+func TestRunFigureSmokeTiny(t *testing.T) {
+	// One tiny end-to-end figure run: every figure name must dispatch and
+	// produce a non-empty table. Uses a minimal scale to stay fast.
+	tiny := Scale{Name: "tiny", Ps: []int{8}, Iters: 8, DHTOps: 6}
+	for _, name := range FigureNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tb, err := RunFigure(name, tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Error("empty table")
+			}
+			if !strings.Contains(tb.Title, "Figure") {
+				t.Errorf("bad title %q", tb.Title)
+			}
+		})
+	}
+	if _, err := RunFigure("9z", tiny); err == nil {
+		t.Error("want error for unknown figure")
+	}
+}

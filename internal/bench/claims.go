@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+
+	"rmalocks/internal/stats"
+)
+
+// Claim is one of the paper's headline results, re-checked against the
+// simulation. Holds reports whether the *shape* of the claim (who wins,
+// direction of the effect) reproduces; Detail carries the measured
+// numbers so EXPERIMENTS.md can record paper-vs-measured.
+type Claim struct {
+	ID          string
+	Description string
+	Holds       bool
+	Detail      string
+}
+
+// VerifyClaims re-runs the minimal set of benchmarks needed to check the
+// paper's key claims at the largest process count of the scale.
+func VerifyClaims(sc Scale) ([]Claim, error) {
+	P := sc.Ps[len(sc.Ps)-1]
+	var claims []Claim
+
+	// --- §5.1: mutex latency and throughput ordering at scale. ---
+	lat := map[string]float64{}
+	thr := map[string]float64{}
+	for _, scheme := range MutexSchemes {
+		r, err := RunMutex(MutexParams{Scheme: scheme, P: P, Workload: ECSB, Iters: sc.Iters})
+		if err != nil {
+			return nil, err
+		}
+		lat[scheme] = r.Latency.Mean
+		thr[scheme] = r.ThroughputMops
+	}
+	claims = append(claims, Claim{
+		ID: "C1-latency",
+		Description: fmt.Sprintf("§5.1: RMA-MCS acquire+release latency beats foMPI-Spin and D-MCS at P=%d "+
+			"(paper: ≈10x and ≈4x at P=1024)", P),
+		Holds: lat[SchemeRMAMCS] < lat[SchemeDMCS] && lat[SchemeRMAMCS] < lat[SchemeFoMPISpin],
+		Detail: fmt.Sprintf("mean latency µs: RMA-MCS=%.1f D-MCS=%.1f foMPI-Spin=%.1f (ratios %.1fx, %.1fx)",
+			lat[SchemeRMAMCS], lat[SchemeDMCS], lat[SchemeFoMPISpin],
+			lat[SchemeFoMPISpin]/lat[SchemeRMAMCS], lat[SchemeDMCS]/lat[SchemeRMAMCS]),
+	})
+	claims = append(claims, Claim{
+		ID:          "C2-mutex-throughput",
+		Description: fmt.Sprintf("§5.1: RMA-MCS ECSB throughput beats D-MCS and foMPI-Spin at P=%d", P),
+		Holds:       thr[SchemeRMAMCS] > thr[SchemeDMCS] && thr[SchemeRMAMCS] > thr[SchemeFoMPISpin],
+		Detail: fmt.Sprintf("mln locks/s: RMA-MCS=%.2f D-MCS=%.2f foMPI-Spin=%.3f",
+			thr[SchemeRMAMCS], thr[SchemeDMCS], thr[SchemeFoMPISpin]),
+	})
+
+	// --- §5.1: intra-node spike — topology-oblivious queues lose
+	// throughput when crossing from one node (P=16) to two (P=32). ---
+	d16, err := RunMutex(MutexParams{Scheme: SchemeDMCS, P: 16, Workload: ECSB, Iters: sc.Iters})
+	if err != nil {
+		return nil, err
+	}
+	d32, err := RunMutex(MutexParams{Scheme: SchemeDMCS, P: 32, Workload: ECSB, Iters: sc.Iters})
+	if err != nil {
+		return nil, err
+	}
+	claims = append(claims, Claim{
+		ID:          "C3-intranode-spike",
+		Description: "§5.1: ECSB throughput drops when leaving the single-node regime (P=16→32, D-MCS)",
+		Holds:       d32.ThroughputMops < d16.ThroughputMops,
+		Detail: fmt.Sprintf("D-MCS mln locks/s: P=16 %.2f → P=32 %.2f",
+			d16.ThroughputMops, d32.ThroughputMops),
+	})
+
+	// --- §5.2.4: RMA-RW vs foMPI-RW. ---
+	rwThr := map[string]map[float64]float64{SchemeRMARW: {}, SchemeFoMPIRW: {}}
+	for _, scheme := range []string{SchemeRMARW, SchemeFoMPIRW} {
+		for _, fw := range []float64{0.002, 0.02, 0.05} {
+			r, err := RunRW(RWParams{Scheme: scheme, P: P, Workload: ECSB, FW: fw, Iters: sc.Iters})
+			if err != nil {
+				return nil, err
+			}
+			rwThr[scheme][fw] = r.ThroughputMops
+		}
+	}
+	gain := rwThr[SchemeRMARW][0.002] / rwThr[SchemeFoMPIRW][0.002]
+	claims = append(claims, Claim{
+		ID: "C4-rw-vs-fompi",
+		Description: fmt.Sprintf("§5.2.4: RMA-RW outperforms foMPI-RW at P=%d for every F_W "+
+			"(paper: >6x for P≥64)", P),
+		Holds: rwThr[SchemeRMARW][0.002] > rwThr[SchemeFoMPIRW][0.002] &&
+			rwThr[SchemeRMARW][0.02] > rwThr[SchemeFoMPIRW][0.02] &&
+			rwThr[SchemeRMARW][0.05] > rwThr[SchemeFoMPIRW][0.05],
+		Detail: fmt.Sprintf("mln locks/s at F_W=0.2%%: RMA-RW=%.2f foMPI-RW=%.2f (%.1fx); "+
+			"F_W=2%%: %.2f vs %.2f; F_W=5%%: %.2f vs %.2f",
+			rwThr[SchemeRMARW][0.002], rwThr[SchemeFoMPIRW][0.002], gain,
+			rwThr[SchemeRMARW][0.02], rwThr[SchemeFoMPIRW][0.02],
+			rwThr[SchemeRMARW][0.05], rwThr[SchemeFoMPIRW][0.05]),
+	})
+	claims = append(claims, Claim{
+		ID:          "C5-fw-ordering",
+		Description: "§5.2.4: lower writer fraction gives higher RW throughput (0.2% > 2% > 5%)",
+		Holds: rwThr[SchemeRMARW][0.002] > rwThr[SchemeRMARW][0.02] &&
+			rwThr[SchemeRMARW][0.02] > rwThr[SchemeRMARW][0.05],
+		Detail: fmt.Sprintf("RMA-RW mln locks/s: 0.2%%=%.2f 2%%=%.2f 5%%=%.2f",
+			rwThr[SchemeRMARW][0.002], rwThr[SchemeRMARW][0.02], rwThr[SchemeRMARW][0.05]),
+	})
+
+	// --- §5.2.3: larger T_R favors read-dominated throughput. ---
+	trLo, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB, FW: 0.002, Iters: sc.Iters, TR: 1000})
+	if err != nil {
+		return nil, err
+	}
+	trHi, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB, FW: 0.002, Iters: sc.Iters, TR: 6000})
+	if err != nil {
+		return nil, err
+	}
+	claims = append(claims, Claim{
+		ID:          "C6-tr-preference",
+		Description: "§5.2.3: increasing T_R improves read-dominated throughput (F_W=0.2%)",
+		Holds:       trHi.ThroughputMops >= trLo.ThroughputMops,
+		Detail: fmt.Sprintf("mln locks/s: T_R=6000 %.2f vs T_R=1000 %.2f",
+			trHi.ThroughputMops, trLo.ThroughputMops),
+	})
+
+	// --- §5.3: the DHT case study. ---
+	dhtTime := map[string]map[float64]float64{}
+	for _, scheme := range []string{SchemeFoMPIA, SchemeFoMPIRW, SchemeRMARW} {
+		dhtTime[scheme] = map[float64]float64{}
+		for _, fw := range []float64{0.05, 0.0} {
+			r, err := RunDHT(DHTParams{Scheme: scheme, P: P, FW: fw, OpsPerProc: sc.DHTOps})
+			if err != nil {
+				return nil, err
+			}
+			dhtTime[scheme][fw] = r.TotalTimeMs
+		}
+	}
+	claims = append(claims, Claim{
+		ID:          "C7-dht",
+		Description: fmt.Sprintf("§5.3: RMA-RW beats foMPI-RW on the DHT at F_W=5%%, P=%d", P),
+		Holds:       dhtTime[SchemeRMARW][0.05] < dhtTime[SchemeFoMPIRW][0.05],
+		Detail: fmt.Sprintf("total ms at F_W=5%%: RMA-RW=%.2f foMPI-RW=%.2f foMPI-A=%.2f; "+
+			"F_W=0%%: RMA-RW=%.2f foMPI-RW=%.2f",
+			dhtTime[SchemeRMARW][0.05], dhtTime[SchemeFoMPIRW][0.05], dhtTime[SchemeFoMPIA][0.05],
+			dhtTime[SchemeRMARW][0.0], dhtTime[SchemeFoMPIRW][0.0]),
+	})
+
+	return claims, nil
+}
+
+// ClaimsTable renders claims as a result table.
+func ClaimsTable(claims []Claim) *stats.Table {
+	t := &stats.Table{
+		Title:   "Headline-claim verification (shape, not absolute numbers)",
+		Columns: []string{"ID", "Holds", "Measured"},
+	}
+	for _, c := range claims {
+		ok := "yes"
+		if !c.Holds {
+			ok = "NO"
+		}
+		t.AddRow(c.ID, ok, c.Detail)
+	}
+	return t
+}

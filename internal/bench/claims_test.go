@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyClaimsQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many benchmarks")
+	}
+	claims, err := VerifyClaims(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 7 {
+		t.Fatalf("only %d claims checked", len(claims))
+	}
+	for _, c := range claims {
+		if c.Holds {
+			t.Logf("%s: OK — %s", c.ID, c.Detail)
+			continue
+		}
+		// At quick scale (P=64) every shape claim is expected to hold;
+		// a failure here means the simulation or a lock regressed.
+		t.Errorf("%s does not hold: %s (%s)", c.ID, c.Description, c.Detail)
+	}
+	tb := ClaimsTable(claims)
+	if len(tb.Rows) != len(claims) || !strings.Contains(tb.Title, "claim") {
+		t.Errorf("bad claims table: %v", tb.Title)
+	}
+}

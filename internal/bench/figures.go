@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"fmt"
+
+	"rmalocks/internal/stats"
+)
+
+// Scale selects the sweep size of the figure runners: Quick keeps unit
+// tests and in-repo benchmarks fast, Full mirrors the paper's process
+// counts.
+type Scale struct {
+	Name   string
+	Ps     []int // swept process counts
+	Iters  int   // measured cycles per process
+	DHTOps int   // DHT operations per process
+}
+
+// Quick is the test-sized sweep.
+var Quick = Scale{Name: "quick", Ps: []int{8, 16, 32, 64}, Iters: 30, DHTOps: 12}
+
+// Medium covers the crossover region at moderate cost.
+var Medium = Scale{Name: "medium", Ps: []int{8, 16, 32, 64, 128, 256}, Iters: 40, DHTOps: 16}
+
+// Full mirrors the paper's sweep (16–1024 processes, plus 8 to show the
+// intra-node spike).
+var Full = Scale{Name: "full", Ps: []int{8, 16, 32, 64, 128, 256, 512, 1024}, Iters: 50, DHTOps: 20}
+
+// ScaleByName resolves a scale preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick, nil
+	case "medium":
+		return Medium, nil
+	case "full":
+		return Full, nil
+	default:
+		return Scale{}, fmt.Errorf("bench: unknown scale %q (quick|medium|full)", name)
+	}
+}
+
+// fwLabel formats a writer fraction the way the paper does ("0.2%").
+func fwLabel(fw float64) string { return fmt.Sprintf("%g%%", fw*100) }
+
+// Figure3 regenerates one subfigure of Figure 3 (§5.1): the RMA-MCS
+// comparison against foMPI-Spin and D-MCS. sub is "a" (LB latency) or
+// "b".."e" (ECSB/SOB/WCSB/WARB throughput).
+func Figure3(sub string, sc Scale) (*stats.Table, []Result, error) {
+	var (
+		wl      Workload
+		metric  string
+		latency bool
+	)
+	switch sub {
+	case "a":
+		wl, metric, latency = ECSB, "MeanLatency[us]", true
+	case "b":
+		wl, metric = ECSB, "Throughput[mln/s]"
+	case "c":
+		wl, metric = SOB, "Throughput[mln/s]"
+	case "d":
+		wl, metric = WCSB, "Throughput[mln/s]"
+	case "e":
+		wl, metric = WARB, "Throughput[mln/s]"
+	default:
+		return nil, nil, fmt.Errorf("bench: Figure3 sub %q (want a..e)", sub)
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 3%s: %s, %s vs P", sub, wl, metric),
+		Columns: []string{"P", "Scheme", metric},
+	}
+	var all []Result
+	for _, P := range sc.Ps {
+		for _, scheme := range MutexSchemes {
+			r, err := RunMutex(MutexParams{Scheme: scheme, P: P, Workload: wl, Iters: sc.Iters})
+			if err != nil {
+				return nil, nil, err
+			}
+			all = append(all, r)
+			v := r.ThroughputMops
+			if latency {
+				v = r.Latency.Mean
+			}
+			t.AddRow(fmt.Sprint(P), scheme, stats.FmtF(v))
+		}
+	}
+	return t, all, nil
+}
+
+// Figure4a regenerates Figure 4a (§5.2.1): T_DC sweep, SOB, F_W = 2%.
+func Figure4a(sc Scale) (*stats.Table, []Result, error) {
+	t := &stats.Table{
+		Title:   "Figure 4a: T_DC analysis, SOB, F_W=2%",
+		Columns: []string{"P", "T_DC", "Throughput[mln/s]"},
+	}
+	var all []Result
+	for _, P := range sc.Ps {
+		for _, tdc := range []int{64, 32, 16, 8, 4, 2} {
+			if tdc > P {
+				continue
+			}
+			r, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: SOB,
+				FW: 0.02, Iters: sc.Iters, TDC: tdc})
+			if err != nil {
+				return nil, nil, err
+			}
+			r.Scheme = fmt.Sprintf("TDC=%d", tdc)
+			all = append(all, r)
+			t.AddRow(fmt.Sprint(P), fmt.Sprint(tdc), stats.FmtF(r.ThroughputMops))
+		}
+	}
+	return t, all, nil
+}
+
+// tlForProduct picks (T_L,1, T_L,2) whose product is the requested T_W,
+// keeping the node-level threshold near the paper's values.
+func tlForProduct(prod int64) []int64 {
+	switch prod {
+	case 500:
+		return []int64{0, 50, 10}
+	case 1000:
+		return []int64{0, 100, 10}
+	case 2500:
+		return []int64{0, 100, 25}
+	case 5000:
+		return []int64{0, 100, 50}
+	case 7500:
+		return []int64{0, 100, 75}
+	default:
+		return []int64{0, prod, 1}
+	}
+}
+
+// Figure4b regenerates Figure 4b (§5.2.2): Π T_L,i sweep, SOB, F_W = 25%.
+func Figure4b(sc Scale) (*stats.Table, []Result, error) {
+	t := &stats.Table{
+		Title:   "Figure 4b: Π T_L,i analysis, SOB, F_W=25%",
+		Columns: []string{"P", "TL_product", "Throughput[mln/s]"},
+	}
+	var all []Result
+	for _, P := range sc.Ps {
+		for _, prod := range []int64{500, 1000, 2500, 5000, 7500} {
+			r, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: SOB,
+				FW: 0.25, Iters: sc.Iters, TL: tlForProduct(prod)})
+			if err != nil {
+				return nil, nil, err
+			}
+			r.Scheme = fmt.Sprintf("TW=%d", prod)
+			all = append(all, r)
+			t.AddRow(fmt.Sprint(P), fmt.Sprint(prod), stats.FmtF(r.ThroughputMops))
+		}
+	}
+	return t, all, nil
+}
+
+// tlSplits are Figure 4c/4d's (T_L,2, T_L,1) splits of T_W = 1000,
+// labeled T_L,2-T_L,1 as in the paper's legend.
+var tlSplits = []struct {
+	label string
+	tl    []int64 // [_, T_L,1, T_L,2]
+}{
+	{"50-20", []int64{0, 20, 50}},
+	{"25-40", []int64{0, 40, 25}},
+	{"10-100", []int64{0, 100, 10}},
+}
+
+// Figure4c regenerates Figure 4c: T_L,i split sweep, SOB throughput,
+// F_W = 25%.
+func Figure4c(sc Scale) (*stats.Table, []Result, error) {
+	t := &stats.Table{
+		Title:   "Figure 4c: T_L,i analysis, SOB, F_W=25%",
+		Columns: []string{"P", "TL2-TL1", "Throughput[mln/s]"},
+	}
+	var all []Result
+	for _, P := range sc.Ps {
+		for _, s := range tlSplits {
+			r, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: SOB,
+				FW: 0.25, Iters: sc.Iters, TL: s.tl})
+			if err != nil {
+				return nil, nil, err
+			}
+			r.Scheme = s.label
+			all = append(all, r)
+			t.AddRow(fmt.Sprint(P), s.label, stats.FmtF(r.ThroughputMops))
+		}
+	}
+	return t, all, nil
+}
+
+// Figure4d regenerates Figure 4d: T_L,i split sweep, LB latency, F_W = 25%.
+func Figure4d(sc Scale) (*stats.Table, []Result, error) {
+	t := &stats.Table{
+		Title:   "Figure 4d: T_L,i analysis, LB, F_W=25%",
+		Columns: []string{"P", "TL2-TL1", "MeanLatency[us]"},
+	}
+	var all []Result
+	for _, P := range sc.Ps {
+		for _, s := range tlSplits {
+			r, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB,
+				FW: 0.25, Iters: sc.Iters, TL: s.tl})
+			if err != nil {
+				return nil, nil, err
+			}
+			r.Scheme = s.label
+			all = append(all, r)
+			t.AddRow(fmt.Sprint(P), s.label, stats.FmtF(r.Latency.Mean))
+		}
+	}
+	return t, all, nil
+}
+
+// Figure4e regenerates Figure 4e (§5.2.3): T_R sweep, ECSB, F_W = 0.2%.
+func Figure4e(sc Scale) (*stats.Table, []Result, error) {
+	t := &stats.Table{
+		Title:   "Figure 4e: T_R analysis, ECSB, F_W=0.2%",
+		Columns: []string{"P", "T_R", "Throughput[mln/s]"},
+	}
+	var all []Result
+	for _, P := range sc.Ps {
+		for _, tr := range []int64{6000, 5000, 4000, 3000, 2000, 1000} {
+			r, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB,
+				FW: 0.002, Iters: sc.Iters, TR: tr})
+			if err != nil {
+				return nil, nil, err
+			}
+			r.Scheme = fmt.Sprintf("TR=%d", tr)
+			all = append(all, r)
+			t.AddRow(fmt.Sprint(P), fmt.Sprint(tr), stats.FmtF(r.ThroughputMops))
+		}
+	}
+	return t, all, nil
+}
+
+// Figure4f regenerates Figure 4f: T_R × F_W interplay, ECSB.
+func Figure4f(sc Scale) (*stats.Table, []Result, error) {
+	t := &stats.Table{
+		Title:   "Figure 4f: T_R analysis, ECSB, F_W in {2%, 5%}",
+		Columns: []string{"P", "T_R-FW", "Throughput[mln/s]"},
+	}
+	var all []Result
+	for _, P := range sc.Ps {
+		for _, fw := range []float64{0.02, 0.05} {
+			for _, tr := range []int64{3000, 4000, 5000} {
+				r, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB,
+					FW: fw, Iters: sc.Iters, TR: tr})
+				if err != nil {
+					return nil, nil, err
+				}
+				label := fmt.Sprintf("%d-%g", tr, fw*100)
+				r.Scheme = label
+				all = append(all, r)
+				t.AddRow(fmt.Sprint(P), label, stats.FmtF(r.ThroughputMops))
+			}
+		}
+	}
+	return t, all, nil
+}
+
+// Figure5 regenerates one subfigure of Figure 5 (§5.2.4): RMA-RW vs
+// foMPI-RW for F_W in {0.2%, 2%, 5%}. sub is "a" (LB latency), "b" (ECSB)
+// or "c" (SOB).
+func Figure5(sub string, sc Scale) (*stats.Table, []Result, error) {
+	var (
+		wl      Workload
+		metric  string
+		latency bool
+	)
+	switch sub {
+	case "a":
+		wl, metric, latency = ECSB, "MeanLatency[us]", true
+	case "b":
+		wl, metric = ECSB, "Throughput[mln/s]"
+	case "c":
+		wl, metric = SOB, "Throughput[mln/s]"
+	default:
+		return nil, nil, fmt.Errorf("bench: Figure5 sub %q (want a..c)", sub)
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 5%s: RMA-RW vs foMPI-RW, %s, %s", sub, wl, metric),
+		Columns: []string{"P", "Scheme", "F_W", metric},
+	}
+	var all []Result
+	for _, P := range sc.Ps {
+		for _, scheme := range []string{SchemeRMARW, SchemeFoMPIRW} {
+			for _, fw := range []float64{0.002, 0.02, 0.05} {
+				r, err := RunRW(RWParams{Scheme: scheme, P: P, Workload: wl,
+					FW: fw, Iters: sc.Iters})
+				if err != nil {
+					return nil, nil, err
+				}
+				r.Scheme = fmt.Sprintf("%s-%s", scheme, fwLabel(fw))
+				all = append(all, r)
+				v := r.ThroughputMops
+				if latency {
+					v = r.Latency.Mean
+				}
+				t.AddRow(fmt.Sprint(P), scheme, fwLabel(fw), stats.FmtF(v))
+			}
+		}
+	}
+	return t, all, nil
+}
+
+// dhtFWs are Figure 6's writer fractions (subfigures a–d).
+var dhtFWs = []float64{0.20, 0.05, 0.02, 0.0}
+
+// Figure6 regenerates Figure 6 (§5.3): DHT total time for foMPI-A,
+// foMPI-RW and RMA-RW across P, for each writer fraction.
+func Figure6(sc Scale) (*stats.Table, []DHTResult, error) {
+	t := &stats.Table{
+		Title:   "Figure 6: DHT total time [ms], foMPI-A vs foMPI-RW vs RMA-RW",
+		Columns: []string{"F_W", "P", "Scheme", "TotalTime[ms]"},
+	}
+	var all []DHTResult
+	for _, fw := range dhtFWs {
+		for _, P := range sc.Ps {
+			for _, scheme := range []string{SchemeFoMPIA, SchemeFoMPIRW, SchemeRMARW} {
+				r, err := RunDHT(DHTParams{Scheme: scheme, P: P, FW: fw, OpsPerProc: sc.DHTOps})
+				if err != nil {
+					return nil, nil, err
+				}
+				all = append(all, r)
+				t.AddRow(fwLabel(fw), fmt.Sprint(P), scheme, stats.FmtF(r.TotalTimeMs))
+			}
+		}
+	}
+	return t, all, nil
+}
+
+// FigureNames lists every figure runner for CLI dispatch.
+var FigureNames = []string{"3a", "3b", "3c", "3d", "3e", "4a", "4b", "4c", "4d", "4e", "4f", "5a", "5b", "5c", "6"}
+
+// RunFigure dispatches a figure by name and returns its table.
+func RunFigure(name string, sc Scale) (*stats.Table, error) {
+	switch name {
+	case "3a", "3b", "3c", "3d", "3e":
+		t, _, err := Figure3(name[1:], sc)
+		return t, err
+	case "4a":
+		t, _, err := Figure4a(sc)
+		return t, err
+	case "4b":
+		t, _, err := Figure4b(sc)
+		return t, err
+	case "4c":
+		t, _, err := Figure4c(sc)
+		return t, err
+	case "4d":
+		t, _, err := Figure4d(sc)
+		return t, err
+	case "4e":
+		t, _, err := Figure4e(sc)
+		return t, err
+	case "4f":
+		t, _, err := Figure4f(sc)
+		return t, err
+	case "5a", "5b", "5c":
+		t, _, err := Figure5(name[1:], sc)
+		return t, err
+	case "6":
+		t, _, err := Figure6(sc)
+		return t, err
+	default:
+		return nil, fmt.Errorf("bench: unknown figure %q", name)
+	}
+}

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"fmt"
+
+	"rmalocks/internal/dht"
+	"rmalocks/internal/locks/rmamcs"
+	"rmalocks/internal/rma"
+	"rmalocks/internal/stats"
+)
+
+// RunMutex executes one mutex benchmark: every process performs warmup
+// cycles, synchronizes on a barrier, then runs Iters measured
+// acquire/release cycles of the chosen workload. Throughput is aggregate
+// measured acquires divided by the measured phase's makespan; latency is
+// the per-cycle virtual duration (the paper's LB measures exactly this
+// with an empty CS).
+func RunMutex(params MutexParams) (Result, error) {
+	params.fill()
+	m := machineFor(params.P, params.ProcsPerNode, params.Seed)
+	mu, err := newMutex(m, params)
+	if err != nil {
+		return Result{}, err
+	}
+	dataOff := m.Alloc(1)
+
+	warmup := params.Iters/10 + 1 // the paper discards 10% as warmup
+	lat := make([][]float64, m.Procs())
+	ends := make([]int64, m.Procs())
+	var start int64
+
+	runErr := m.Run(func(p *rma.Proc) {
+		mine := make([]float64, 0, params.Iters)
+		for i := 0; i < warmup; i++ {
+			mu.Acquire(p)
+			csWork(p, params.Workload, dataOff, true)
+			mu.Release(p)
+			afterWork(p, params.Workload)
+		}
+		p.Barrier() // clocks align here
+		if p.Rank() == 0 {
+			start = p.Now()
+		}
+		for i := 0; i < params.Iters; i++ {
+			t0 := p.Now()
+			mu.Acquire(p)
+			csWork(p, params.Workload, dataOff, true)
+			mu.Release(p)
+			mine = append(mine, float64(p.Now()-t0)/1e3) // µs
+			afterWork(p, params.Workload)
+		}
+		ends[p.Rank()] = p.Now()
+		lat[p.Rank()] = mine
+	})
+	if runErr != nil {
+		return Result{}, fmt.Errorf("bench: %s P=%d: %w", params.Scheme, params.P, runErr)
+	}
+	res := summarize(params.Scheme, params.P, m, start, ends, lat)
+	res.WarmupOps = int64(warmup * m.Procs())
+	if l, ok := mu.(*rmamcs.Lock); ok {
+		res.DirectEntries = l.DirectEntries
+	}
+	return res, nil
+}
+
+// RunRW executes one reader/writer benchmark. Each iteration is a write
+// with probability FW, a read otherwise (deterministic per-process RNG).
+func RunRW(params RWParams) (Result, error) {
+	params.fill()
+	m := machineFor(params.P, params.ProcsPerNode, params.Seed)
+	rw, err := newRW(m, params)
+	if err != nil {
+		return Result{}, err
+	}
+	dataOff := m.Alloc(1)
+
+	warmup := params.Iters/10 + 1
+	lat := make([][]float64, m.Procs())
+	ends := make([]int64, m.Procs())
+	var start int64
+
+	runErr := m.Run(func(p *rma.Proc) {
+		mine := make([]float64, 0, params.Iters)
+		cycle := func(measured bool) {
+			write := p.Rand().Float64() < params.FW
+			t0 := p.Now()
+			if write {
+				rw.AcquireWrite(p)
+				csWork(p, params.Workload, dataOff, true)
+				rw.ReleaseWrite(p)
+			} else {
+				rw.AcquireRead(p)
+				csWork(p, params.Workload, dataOff, false)
+				rw.ReleaseRead(p)
+			}
+			if measured {
+				mine = append(mine, float64(p.Now()-t0)/1e3)
+			}
+			afterWork(p, params.Workload)
+		}
+		for i := 0; i < warmup; i++ {
+			cycle(false)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			start = p.Now()
+		}
+		for i := 0; i < params.Iters; i++ {
+			cycle(true)
+		}
+		ends[p.Rank()] = p.Now()
+		lat[p.Rank()] = mine
+	})
+	if runErr != nil {
+		return Result{}, fmt.Errorf("bench: %s P=%d FW=%g: %w", params.Scheme, params.P, params.FW, runErr)
+	}
+	return summarize(params.Scheme, params.P, m, start, ends, lat), nil
+}
+
+func summarize(scheme string, P int, m *rma.Machine, start int64, ends []int64, lat [][]float64) Result {
+	var end int64
+	var ops int64
+	all := make([]float64, 0, 1024)
+	for r := range ends {
+		if ends[r] > end {
+			end = ends[r]
+		}
+		ops += int64(len(lat[r]))
+		all = append(all, lat[r]...)
+	}
+	return Result{
+		Scheme:         scheme,
+		P:              P,
+		ThroughputMops: throughputMops(ops, end-start),
+		Latency:        stats.Summarize(all),
+		MakespanMs:     float64(end-start) / 1e6,
+		Ops:            ops,
+		RemoteOps:      m.Stats().Remote(),
+	}
+}
+
+// DHTParams configures one distributed-hashtable benchmark run (§5.3):
+// P−1 processes issue OpsPerProc operations against the local volume of
+// rank 0; each operation is an insert with probability FW, otherwise a
+// read of a random key.
+type DHTParams struct {
+	Scheme       string // SchemeFoMPIA, SchemeFoMPIRW or SchemeRMARW
+	P            int
+	FW           float64
+	OpsPerProc   int
+	Seed         int64
+	ProcsPerNode int
+	Slots        int // table slots per volume (default 512)
+	Cells        int // overflow cells (default: enough for all inserts)
+	// RMA-RW parameters.
+	TDC int
+	TR  int64
+	TL  []int64
+}
+
+// DHTResult is the outcome of one DHT benchmark run.
+type DHTResult struct {
+	Scheme      string
+	P           int
+	FW          float64
+	TotalTimeMs float64 // the paper's Figure 6 metric
+	Inserts     int64
+	Lookups     int64
+	Stored      int // elements in the target volume afterwards
+}
+
+// RunDHT executes one DHT benchmark run.
+func RunDHT(params DHTParams) (DHTResult, error) {
+	if params.ProcsPerNode == 0 {
+		params.ProcsPerNode = ProcsPerNode
+	}
+	if params.OpsPerProc == 0 {
+		params.OpsPerProc = 20
+	}
+	if params.Seed == 0 {
+		params.Seed = 1
+	}
+	if params.Slots == 0 {
+		params.Slots = 512
+	}
+	if params.Cells == 0 {
+		params.Cells = params.P*params.OpsPerProc + 16
+	}
+	m := machineFor(params.P, params.ProcsPerNode, params.Seed)
+	table := dht.New(m, params.Slots, params.Cells)
+
+	var rw interface {
+		AcquireRead(*rma.Proc)
+		ReleaseRead(*rma.Proc)
+		AcquireWrite(*rma.Proc)
+		ReleaseWrite(*rma.Proc)
+	}
+	switch params.Scheme {
+	case SchemeFoMPIA:
+		rw = nil // raw atomics
+	case SchemeFoMPIRW, SchemeRMARW:
+		p := RWParams{Scheme: params.Scheme, TDC: params.TDC, TR: params.TR, TL: params.TL, ProcsPerNode: params.ProcsPerNode}
+		p.fill()
+		l, err := newRW(m, p)
+		if err != nil {
+			return DHTResult{}, err
+		}
+		rw = l
+	default:
+		return DHTResult{}, fmt.Errorf("bench: unknown DHT scheme %q", params.Scheme)
+	}
+
+	const vol = 0                 // the selected process hosting the volume
+	const keyspace = int64(1) << 30 // random keys, mostly unique inserts
+	var (
+		start   int64
+		end     int64
+		inserts int64
+		lookups int64
+	)
+	ends := make([]int64, m.Procs())
+	runErr := m.Run(func(p *rma.Proc) {
+		p.Barrier()
+		if p.Rank() == 0 {
+			start = p.Now()
+			return // rank 0 only hosts the volume (the paper: P−1 clients)
+		}
+		for i := 0; i < params.OpsPerProc; i++ {
+			key := int64(p.Rand().Int63n(keyspace))
+			if p.Rand().Float64() < params.FW {
+				inserts++
+				switch {
+				case rw == nil:
+					table.AtomicInsert(p, vol, key)
+				default:
+					rw.AcquireWrite(p)
+					table.PlainInsert(p, vol, key)
+					rw.ReleaseWrite(p)
+				}
+			} else {
+				lookups++
+				switch {
+				case rw == nil:
+					table.AtomicLookup(p, vol, key)
+				default:
+					rw.AcquireRead(p)
+					table.PlainLookup(p, vol, key)
+					rw.ReleaseRead(p)
+				}
+			}
+		}
+		ends[p.Rank()] = p.Now()
+	})
+	if runErr != nil {
+		return DHTResult{}, fmt.Errorf("bench: DHT %s P=%d FW=%g: %w", params.Scheme, params.P, params.FW, runErr)
+	}
+	for _, e := range ends {
+		if e > end {
+			end = e
+		}
+	}
+	return DHTResult{
+		Scheme:      params.Scheme,
+		P:           params.P,
+		FW:          params.FW,
+		TotalTimeMs: float64(end-start) / 1e6,
+		Inserts:     inserts,
+		Lookups:     lookups,
+		Stored:      table.Count(m, vol),
+	}, nil
+}

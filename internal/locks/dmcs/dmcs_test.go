@@ -1,0 +1,138 @@
+package dmcs
+
+import (
+	"testing"
+
+	"rmalocks/internal/locks"
+	"rmalocks/internal/locks/locktest"
+	"rmalocks/internal/rma"
+	"rmalocks/internal/topology"
+)
+
+func factory(m *rma.Machine) locks.Mutex { return New(m) }
+
+func TestMutualExclusionSingleNode(t *testing.T) {
+	locktest.StressMutex(t, topology.TwoLevel(1, 8), factory, locktest.Options{Iters: 30})
+}
+
+func TestMutualExclusionMultiNode(t *testing.T) {
+	locktest.StressMutex(t, topology.TwoLevel(4, 4), factory, locktest.Options{Iters: 25})
+}
+
+func TestMutualExclusionThreeLevels(t *testing.T) {
+	locktest.StressMutex(t, topology.MustNew([]int{1, 2, 4}, 4), factory, locktest.Options{Iters: 15})
+}
+
+func TestTwoProcessesHandOff(t *testing.T) {
+	topo := topology.TwoLevel(1, 2)
+	m := rma.NewMachineConfig(topo, rma.Config{TimeLimit: 1_000_000_000})
+	l := New(m)
+	order := make([]int, 0, 8)
+	err := m.Run(func(p *rma.Proc) {
+		for i := 0; i < 4; i++ {
+			l.Acquire(p)
+			order = append(order, p.Rank())
+			l.Release(p)
+			p.Compute(100)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("got %d CS entries, want 8", len(order))
+	}
+	if l.Acquires != 8 {
+		t.Errorf("Acquires=%d want 8", l.Acquires)
+	}
+}
+
+func TestUncontendedFastPath(t *testing.T) {
+	// A single process acquiring an empty lock must not wait: its two
+	// queue operations are one FAO and one CAS.
+	topo := topology.TwoLevel(1, 2)
+	m := rma.NewMachineConfig(topo, rma.Config{TimeLimit: 1_000_000_000})
+	l := New(m)
+	err := m.Run(func(p *rma.Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		l.Acquire(p)
+		l.Release(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Kind[3] != 1 { // one FAO (enqueue)
+		t.Errorf("FAO count=%d want 1: %v", s.Kind[3], s)
+	}
+}
+
+func TestTailPlacement(t *testing.T) {
+	// NewAt places the TAIL word on a chosen rank; the lock still works.
+	topo := topology.TwoLevel(2, 4)
+	locktest.StressMutex(t, topo, func(m *rma.Machine) locks.Mutex {
+		return NewAt(m, 5)
+	}, locktest.Options{Iters: 20})
+}
+
+func TestQueueIsFIFOUnderBarrierAlignedEntry(t *testing.T) {
+	// All processes enqueue in rank order (the simulator runs equal-clock
+	// processes in rank order after a barrier); the CS order must match
+	// the queue order exactly — MCS is FIFO-fair.
+	topo := topology.TwoLevel(2, 4)
+	m := rma.NewMachineConfig(topo, rma.Config{TimeLimit: 10_000_000_000})
+	l := New(m)
+	var order []int
+	err := m.Run(func(p *rma.Proc) {
+		p.Barrier()
+		l.Acquire(p)
+		order = append(order, p.Rank())
+		p.Compute(1000)
+		l.Release(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != topo.Procs() {
+		t.Fatalf("%d entries, want %d", len(order), topo.Procs())
+	}
+	seen := make(map[int]bool)
+	for _, r := range order {
+		if seen[r] {
+			t.Fatalf("rank %d entered twice: %v", r, order)
+		}
+		seen[r] = true
+	}
+}
+
+func TestManyLocksCoexist(t *testing.T) {
+	// Two independent D-MCS locks on one machine must not interfere.
+	topo := topology.TwoLevel(2, 4)
+	m := rma.NewMachineConfig(topo, rma.Config{TimeLimit: 30_000_000_000})
+	a, b := New(m), NewAt(m, 3)
+	var ca, cb int64
+	err := m.Run(func(p *rma.Proc) {
+		for i := 0; i < 10; i++ {
+			a.Acquire(p)
+			va := ca
+			p.Compute(100)
+			ca = va + 1
+			a.Release(p)
+
+			b.Acquire(p)
+			vb := cb
+			p.Compute(100)
+			cb = vb + 1
+			b.Release(p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(10 * topo.Procs())
+	if ca != want || cb != want {
+		t.Errorf("ca=%d cb=%d want %d", ca, cb, want)
+	}
+}

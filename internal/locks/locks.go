@@ -1,0 +1,53 @@
+// Package locks defines the lock interfaces shared by all lock
+// implementations in this repository, the STATUS-field encoding of the
+// paper (§3.2.4), and the generic distributed-queue tree (DT of DQs) that
+// RMA-MCS and RMA-RW are built from.
+package locks
+
+import "rmalocks/internal/rma"
+
+// Mutex is a distributed mutual-exclusion lock. Implementations keep all
+// state in RMA windows; the methods are called from simulated process
+// goroutines with that process's rma.Proc.
+type Mutex interface {
+	// Acquire blocks (in virtual time) until the calling process holds
+	// the lock.
+	Acquire(p *rma.Proc)
+	// Release hands the lock over; the caller must hold it.
+	Release(p *rma.Proc)
+}
+
+// RWMutex is a distributed Reader-Writer lock: multiple concurrent
+// readers, or one exclusive writer.
+type RWMutex interface {
+	AcquireRead(p *rma.Proc)
+	ReleaseRead(p *rma.Proc)
+	AcquireWrite(p *rma.Proc)
+	ReleaseWrite(p *rma.Proc)
+}
+
+// WriterOnly adapts a Mutex to the RWMutex interface by treating every
+// reader as a writer; used to run RW workloads over plain mutexes.
+type WriterOnly struct{ Mu Mutex }
+
+func (w WriterOnly) AcquireRead(p *rma.Proc)  { w.Mu.Acquire(p) }
+func (w WriterOnly) ReleaseRead(p *rma.Proc)  { w.Mu.Release(p) }
+func (w WriterOnly) AcquireWrite(p *rma.Proc) { w.Mu.Acquire(p) }
+func (w WriterOnly) ReleaseWrite(p *rma.Proc) { w.Mu.Release(p) }
+
+// STATUS-field encoding (paper §3.2.4): two negative sentinels plus
+// non-negative "enter the CS" values that simultaneously carry the count
+// of past consecutive lock acquires within the machine element.
+const (
+	// StatusWait makes the owner spin; set before enqueueing.
+	StatusWait int64 = -1
+	// StatusAcquireParent tells the owner it must acquire the lock at the
+	// parent tree level instead of entering the CS.
+	StatusAcquireParent int64 = -2
+	// StatusModeChange (level 1 of RMA-RW only) tells the owner the lock
+	// mode changed to READ and it must reclaim the counters.
+	StatusModeChange int64 = -3
+	// StatusAcquireStart is the count value installed when a process
+	// starts acquiring a level on behalf of its element.
+	StatusAcquireStart int64 = 0
+)

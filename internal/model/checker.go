@@ -1,0 +1,168 @@
+// Package model is the repository's stand-in for the paper's SPIN/PROMELA
+// verification (§4.4): an explicit-state model checker that enumerates all
+// interleavings of abstracted lock protocols (one RMA operation = one
+// atomic step, matching the simulator's linearize-at-issue semantics) and
+// checks mutual exclusion and deadlock freedom by exhaustive BFS.
+package model
+
+import "fmt"
+
+// State is one global state of a model: shared memory plus per-process
+// program counters and locals. States are value types; Step must not
+// mutate its input.
+type State struct {
+	Mem []int64
+	PC  []int
+	Loc [][]int64
+}
+
+// Clone deep-copies a state.
+func (s *State) Clone() *State {
+	n := &State{
+		Mem: append([]int64(nil), s.Mem...),
+		PC:  append([]int(nil), s.PC...),
+		Loc: make([][]int64, len(s.Loc)),
+	}
+	for i, l := range s.Loc {
+		n.Loc[i] = append([]int64(nil), l...)
+	}
+	return n
+}
+
+// key returns a canonical encoding for the visited set.
+func (s *State) key() string {
+	b := make([]byte, 0, 8*(len(s.Mem)+len(s.PC))+8*len(s.Loc)*2)
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+	}
+	for _, v := range s.Mem {
+		put(v)
+	}
+	for _, v := range s.PC {
+		put(int64(v))
+	}
+	for _, l := range s.Loc {
+		for _, v := range l {
+			put(v)
+		}
+	}
+	return string(b)
+}
+
+// StuckAcceptor is an optional Model extension: AcceptStuck reports
+// whether a state in which no process can move (and not all are done) is
+// an accepted end state rather than a deadlock. It exists for documented
+// liveness corners such as the RW reader tail-starvation (see the RW
+// model), letting safety checking proceed past them.
+type StuckAcceptor interface {
+	AcceptStuck(st *State) bool
+}
+
+// Model describes a checkable protocol.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Init returns the initial state.
+	Init() *State
+	// Step executes one atomic step of process p. It returns nil if the
+	// process cannot progress right now (a spin guard is false or the
+	// process is done). Step must not modify st.
+	Step(st *State, p int) *State
+	// Done reports whether process p has terminated in st.
+	Done(st *State, p int) bool
+	// Check returns an error describing a safety violation in st, or nil.
+	Check(st *State) error
+}
+
+// Result summarizes an exhaustive check.
+type Result struct {
+	Model      string
+	States     int   // distinct states explored
+	Transitions int64 // transitions taken
+	Violation  error // first safety violation found, if any
+	Deadlock   bool  // a reachable state where nobody can move and not all are done
+	Truncated  bool  // state limit hit before exhaustion
+	// AcceptedStuck counts terminal states waved through by a model's
+	// AcceptStuck (documented liveness corners, not deadlocks).
+	AcceptedStuck int
+}
+
+func (r Result) String() string {
+	status := "OK"
+	switch {
+	case r.Violation != nil:
+		status = "VIOLATION: " + r.Violation.Error()
+	case r.Deadlock:
+		status = "DEADLOCK"
+	case r.Truncated:
+		status = "TRUNCATED"
+	}
+	return fmt.Sprintf("%s: %d states, %d transitions: %s", r.Model, r.States, r.Transitions, status)
+}
+
+// Check exhaustively explores m's state space by BFS, up to maxStates
+// distinct states (0 means a default of 2,000,000). It stops early at the
+// first safety violation or deadlock.
+func Check(m Model, maxStates int) Result {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	init := m.Init()
+	res := Result{Model: m.Name()}
+	visited := map[string]struct{}{init.key(): {}}
+	queue := []*State{init}
+	procs := len(init.PC)
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		res.States++
+		if err := m.Check(st); err != nil {
+			res.Violation = err
+			return res
+		}
+		moved := false
+		allDone := true
+		for p := 0; p < procs; p++ {
+			if m.Done(st, p) {
+				continue
+			}
+			allDone = false
+			next := m.Step(st, p)
+			if next == nil {
+				continue // blocked (spin guard false)
+			}
+			moved = true
+			res.Transitions++
+			k := next.key()
+			if _, ok := visited[k]; !ok {
+				visited[k] = struct{}{}
+				queue = append(queue, next)
+			}
+		}
+		if !moved && !allDone {
+			if sa, ok := m.(StuckAcceptor); ok && sa.AcceptStuck(st) {
+				res.AcceptedStuck++
+				continue
+			}
+			res.Deadlock = true
+			return res
+		}
+		if len(visited) >= maxStates {
+			res.Truncated = true
+			return res
+		}
+	}
+	return res
+}
+
+// Roles assigns reader/writer roles deterministically for RW models:
+// the first nWriters processes write, the rest read.
+func Roles(nWriters, nProcs int) []bool {
+	roles := make([]bool, nProcs)
+	for i := 0; i < nWriters && i < nProcs; i++ {
+		roles[i] = true
+	}
+	return roles
+}

@@ -1,0 +1,208 @@
+package model
+
+import "fmt"
+
+// DMCS is the abstract model of the D-MCS lock (paper §2.4, Listings 2–3):
+// P processes each acquire and release the lock Iters times. One RMA
+// operation is one atomic step.
+//
+// Shared memory layout: [0] = TAIL; then per process p: [1+2p] = NEXT_p,
+// [2+2p] = WAIT_p. The null rank is -1.
+type DMCS struct {
+	Procs int
+	Iters int
+}
+
+// Program counters.
+const (
+	dPrep    = iota // write own NEXT=∅, WAIT=1 (local prep)
+	dSwap           // FAO TAIL -> pred
+	dLink           // no pred: skip; pred: NEXT_pred = p
+	dSpin           // spin on WAIT_p == 0
+	dCS             // in the critical section
+	dReadNext       // succ = NEXT_p
+	dCASTail        // no succ: CAS(TAIL, p -> ∅)
+	dWaitSucc       // spin on NEXT_p != ∅
+	dNotify         // WAIT_succ = 0
+	dDone
+)
+
+// Name implements Model.
+func (m DMCS) Name() string { return fmt.Sprintf("D-MCS P=%d iters=%d", m.Procs, m.Iters) }
+
+// Init implements Model.
+func (m DMCS) Init() *State {
+	st := &State{
+		Mem: make([]int64, 1+2*m.Procs),
+		PC:  make([]int, m.Procs),
+		Loc: make([][]int64, m.Procs),
+	}
+	st.Mem[0] = -1 // TAIL = ∅
+	for p := 0; p < m.Procs; p++ {
+		st.Mem[1+2*p] = -1 // NEXT
+		st.Mem[2+2*p] = 0  // WAIT
+		st.Loc[p] = []int64{-1, -1, 0} // pred, succ, iter
+	}
+	return st
+}
+
+func (m DMCS) next(p int) int { return 1 + 2*p }
+func (m DMCS) wait(p int) int { return 2 + 2*p }
+
+// Done implements Model.
+func (m DMCS) Done(st *State, p int) bool { return st.PC[p] == dDone }
+
+// Step implements Model.
+func (m DMCS) Step(st *State, p int) *State {
+	n := st.Clone()
+	pc := n.PC[p]
+	loc := n.Loc[p]
+	switch pc {
+	case dPrep:
+		n.Mem[m.next(p)] = -1
+		n.Mem[m.wait(p)] = 1
+		n.PC[p] = dSwap
+	case dSwap:
+		loc[0] = n.Mem[0] // pred
+		n.Mem[0] = int64(p)
+		if loc[0] == -1 {
+			n.PC[p] = dCS
+		} else {
+			n.PC[p] = dLink
+		}
+	case dLink:
+		n.Mem[m.next(int(loc[0]))] = int64(p)
+		n.PC[p] = dSpin
+	case dSpin:
+		if st.Mem[m.wait(p)] != 0 {
+			return nil // blocked
+		}
+		n.PC[p] = dCS
+	case dCS:
+		n.PC[p] = dReadNext
+	case dReadNext:
+		loc[1] = n.Mem[m.next(p)] // succ
+		if loc[1] == -1 {
+			n.PC[p] = dCASTail
+		} else {
+			n.PC[p] = dNotify
+		}
+	case dCASTail:
+		if n.Mem[0] == int64(p) {
+			n.Mem[0] = -1
+			m.finishIter(n, p)
+		} else {
+			n.PC[p] = dWaitSucc
+		}
+	case dWaitSucc:
+		if st.Mem[m.next(p)] == -1 {
+			return nil // blocked: successor not linked yet
+		}
+		loc[1] = n.Mem[m.next(p)]
+		n.PC[p] = dNotify
+	case dNotify:
+		n.Mem[m.wait(int(loc[1]))] = 0
+		m.finishIter(n, p)
+	default:
+		return nil
+	}
+	return n
+}
+
+func (m DMCS) finishIter(st *State, p int) {
+	st.Loc[p][2]++
+	if int(st.Loc[p][2]) >= m.Iters {
+		st.PC[p] = dDone
+	} else {
+		st.PC[p] = dPrep
+	}
+}
+
+// Check implements Model: at most one process in the CS.
+func (m DMCS) Check(st *State) error {
+	in := 0
+	for p := 0; p < m.Procs; p++ {
+		if st.PC[p] == dCS {
+			in++
+		}
+	}
+	if in > 1 {
+		return fmt.Errorf("mutual exclusion violated: %d processes in CS", in)
+	}
+	return nil
+}
+
+// SpinModel is the abstract foMPI-Spin lock: CAS 0→1 to acquire, store 0
+// to release.
+//
+// Shared memory: [0] = lock word.
+type SpinModel struct {
+	Procs int
+	Iters int
+}
+
+const (
+	sTry = iota // CAS(lock, 0 -> 1)
+	sCS
+	sRel // lock = 0
+	sDone
+)
+
+// Name implements Model.
+func (m SpinModel) Name() string { return fmt.Sprintf("foMPI-Spin P=%d iters=%d", m.Procs, m.Iters) }
+
+// Init implements Model.
+func (m SpinModel) Init() *State {
+	st := &State{
+		Mem: make([]int64, 1),
+		PC:  make([]int, m.Procs),
+		Loc: make([][]int64, m.Procs),
+	}
+	for p := range st.Loc {
+		st.Loc[p] = []int64{0} // iter
+	}
+	return st
+}
+
+// Done implements Model.
+func (m SpinModel) Done(st *State, p int) bool { return st.PC[p] == sDone }
+
+// Step implements Model.
+func (m SpinModel) Step(st *State, p int) *State {
+	n := st.Clone()
+	switch n.PC[p] {
+	case sTry:
+		if st.Mem[0] != 0 {
+			return nil // blocked: lock held (backoff abstracted away)
+		}
+		n.Mem[0] = 1
+		n.PC[p] = sCS
+	case sCS:
+		n.PC[p] = sRel
+	case sRel:
+		n.Mem[0] = 0
+		n.Loc[p][0]++
+		if int(n.Loc[p][0]) >= m.Iters {
+			n.PC[p] = sDone
+		} else {
+			n.PC[p] = sTry
+		}
+	default:
+		return nil
+	}
+	return n
+}
+
+// Check implements Model.
+func (m SpinModel) Check(st *State) error {
+	in := 0
+	for p := 0; p < m.Procs; p++ {
+		if st.PC[p] == sCS {
+			in++
+		}
+	}
+	if in > 1 {
+		return fmt.Errorf("mutual exclusion violated: %d processes in CS", in)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package model
+
+import "fmt"
+
+// Tree is the abstract model of a two-level RMA-MCS lock (§3.5): per-node
+// leaf queues whose heads compete in a root queue through per-element
+// queue nodes hosted at node leaders. It exhaustively exercises exactly
+// the machinery the flat D-MCS model cannot: the locality threshold
+// T_L, the ACQUIRE_PARENT hand-off, and the reuse of the per-element
+// root-queue node by successive processes of the same node.
+//
+// Machine: Nodes compute nodes with ProcsPerNode processes each; process
+// p lives on node p/ProcsPerNode, and the node's leader (its first
+// process) hosts the element's root-queue node.
+//
+// Shared memory layout:
+//
+//	[0]                 root TAIL (values: element ids, -1 = ∅)
+//	per element e:      [1+4e] rootNEXT_e, [2+4e] rootSTATUS_e,
+//	                    [3+4e] leafTAIL_e (process ids), [4+4e] unused pad
+//	per process p:      [base+2p] leafNEXT_p, [base+2p+1] leafSTATUS_p
+//
+// STATUS encoding matches the implementation: -1 WAIT, -2 ACQUIRE_PARENT,
+// counts >= 0 grant the CS.
+type Tree struct {
+	Nodes        int
+	ProcsPerNode int
+	Iters        int
+	TL           int64 // leaf-level locality threshold T_L,2
+}
+
+// Tree program counters.
+const (
+	tPrepLeaf = iota // reset own leaf node, then swap into the leaf tail
+	tSwapLeaf
+	tLinkLeaf
+	tSpinLeaf
+	tPrepRoot // reset the element node, then swap into the root tail
+	tSwapRoot
+	tLinkRoot
+	tSpinRoot
+	tCS
+	// Release: leaf level first (Listing 5).
+	tRelReadLeaf
+	// Root release happens before leaving the leaf queue.
+	tRelReadRoot
+	tRelCASRoot
+	tRelWaitRoot
+	tRelPassRoot
+	// Back at the leaf: detach or redirect the successor.
+	tRelCASLeaf
+	tRelWaitLeaf
+	tRelPassLeaf
+	tEnd
+)
+
+// Tree locals.
+const (
+	tlPred = iota
+	tlLeafSucc
+	tlLeafStatus
+	tlRootSucc
+	tlRootStatus
+	tlIter
+	tlNumLoc
+)
+
+// Name implements Model.
+func (m Tree) Name() string {
+	return fmt.Sprintf("RMA-MCS(2-level) %dx%d iters=%d TL=%d", m.Nodes, m.ProcsPerNode, m.Iters, m.TL)
+}
+
+func (m Tree) procs() int           { return m.Nodes * m.ProcsPerNode }
+func (m Tree) nodeOf(p int) int     { return p / m.ProcsPerNode }
+func (m Tree) procBase() int        { return 1 + 4*m.Nodes }
+func (m Tree) rootNext(e int) int   { return 1 + 4*e }
+func (m Tree) rootStatus(e int) int { return 2 + 4*e }
+func (m Tree) leafTail(e int) int   { return 3 + 4*e }
+func (m Tree) leafNext(p int) int   { return m.procBase() + 2*p }
+func (m Tree) leafStatus(p int) int { return m.procBase() + 2*p + 1 }
+
+// Init implements Model.
+func (m Tree) Init() *State {
+	st := &State{
+		Mem: make([]int64, m.procBase()+2*m.procs()),
+		PC:  make([]int, m.procs()),
+		Loc: make([][]int64, m.procs()),
+	}
+	st.Mem[0] = -1 // root TAIL
+	for e := 0; e < m.Nodes; e++ {
+		st.Mem[m.rootNext(e)] = -1
+		st.Mem[m.rootStatus(e)] = -1
+		st.Mem[m.leafTail(e)] = -1
+	}
+	for p := 0; p < m.procs(); p++ {
+		st.Mem[m.leafNext(p)] = -1
+		st.Mem[m.leafStatus(p)] = -1
+		st.Loc[p] = make([]int64, tlNumLoc)
+	}
+	return st
+}
+
+// Done implements Model.
+func (m Tree) Done(st *State, p int) bool { return st.PC[p] == tEnd }
+
+// Step implements Model.
+func (m Tree) Step(st *State, p int) *State {
+	n := st.Clone()
+	loc := n.Loc[p]
+	e := m.nodeOf(p)
+	switch n.PC[p] {
+	// ---- acquire, leaf level (Listing 4, i = 2) ----
+	case tPrepLeaf:
+		n.Mem[m.leafNext(p)] = -1
+		n.Mem[m.leafStatus(p)] = -1
+		n.PC[p] = tSwapLeaf
+	case tSwapLeaf:
+		loc[tlPred] = n.Mem[m.leafTail(e)]
+		n.Mem[m.leafTail(e)] = int64(p)
+		if loc[tlPred] == -1 {
+			// Head of the leaf queue: install ACQUIRE_START (as the
+			// implementation's SetStatus does) and climb.
+			n.Mem[m.leafStatus(p)] = 0
+			n.PC[p] = tPrepRoot
+		} else {
+			n.PC[p] = tLinkLeaf
+		}
+	case tLinkLeaf:
+		n.Mem[m.leafNext(int(loc[tlPred]))] = int64(p)
+		n.PC[p] = tSpinLeaf
+	case tSpinLeaf:
+		s := st.Mem[m.leafStatus(p)]
+		if s == -1 {
+			return nil // WAIT
+		}
+		if s == -2 { // ACQUIRE_PARENT: continue up on the element's behalf
+			n.Mem[m.leafStatus(p)] = 0 // ACQUIRE_START
+			n.PC[p] = tPrepRoot
+		} else {
+			n.PC[p] = tCS // direct intra-node pass
+		}
+	// ---- acquire, root level (per-element node at the leader) ----
+	case tPrepRoot:
+		n.Mem[m.rootNext(e)] = -1
+		n.Mem[m.rootStatus(e)] = -1
+		n.PC[p] = tSwapRoot
+	case tSwapRoot:
+		loc[tlPred] = n.Mem[0]
+		n.Mem[0] = int64(e)
+		if loc[tlPred] == -1 {
+			n.Mem[m.rootStatus(e)] = 0 // ACQUIRE_START: we hold the root
+			n.PC[p] = tCS
+		} else {
+			n.PC[p] = tLinkRoot
+		}
+	case tLinkRoot:
+		n.Mem[m.rootNext(int(loc[tlPred]))] = int64(e)
+		n.PC[p] = tSpinRoot
+	case tSpinRoot:
+		s := st.Mem[m.rootStatus(e)]
+		if s == -1 {
+			return nil // WAIT
+		}
+		// Root grants are always counts (no parent above the root).
+		n.PC[p] = tCS
+	// ---- critical section ----
+	case tCS:
+		n.PC[p] = tRelReadLeaf
+	// ---- release, leaf level (Listing 5, i = 2) ----
+	case tRelReadLeaf:
+		loc[tlLeafSucc] = n.Mem[m.leafNext(p)]
+		loc[tlLeafStatus] = n.Mem[m.leafStatus(p)]
+		if loc[tlLeafSucc] != -1 && loc[tlLeafStatus] < m.TL {
+			// Pass within the node.
+			n.Mem[m.leafStatus(int(loc[tlLeafSucc]))] = loc[tlLeafStatus] + 1
+			m.finish(n, p)
+			break
+		}
+		n.PC[p] = tRelReadRoot // release the parent first
+	// ---- release, root level (on the element node) ----
+	case tRelReadRoot:
+		loc[tlRootSucc] = n.Mem[m.rootNext(e)]
+		loc[tlRootStatus] = n.Mem[m.rootStatus(e)]
+		if loc[tlRootSucc] != -1 {
+			n.PC[p] = tRelPassRoot
+		} else {
+			n.PC[p] = tRelCASRoot
+		}
+	case tRelCASRoot:
+		if n.Mem[0] == int64(e) {
+			n.Mem[0] = -1
+			n.PC[p] = tRelCASLeaf // root queue emptied
+		} else {
+			n.PC[p] = tRelWaitRoot
+		}
+	case tRelWaitRoot:
+		if st.Mem[m.rootNext(e)] == -1 {
+			return nil // successor element not linked yet
+		}
+		loc[tlRootSucc] = n.Mem[m.rootNext(e)]
+		n.PC[p] = tRelPassRoot
+	case tRelPassRoot:
+		// Pass the root lock to the next element (count semantics).
+		n.Mem[m.rootStatus(int(loc[tlRootSucc]))] = loc[tlRootStatus] + 1
+		n.PC[p] = tRelCASLeaf
+	// ---- back at the leaf: detach or redirect ----
+	case tRelCASLeaf:
+		if loc[tlLeafSucc] != -1 {
+			n.PC[p] = tRelPassLeaf
+			break
+		}
+		if n.Mem[m.leafTail(e)] == int64(p) {
+			n.Mem[m.leafTail(e)] = -1
+			m.finish(n, p)
+		} else {
+			n.PC[p] = tRelWaitLeaf
+		}
+	case tRelWaitLeaf:
+		if st.Mem[m.leafNext(p)] == -1 {
+			return nil
+		}
+		loc[tlLeafSucc] = n.Mem[m.leafNext(p)]
+		n.PC[p] = tRelPassLeaf
+	case tRelPassLeaf:
+		// Tell the successor to acquire the root itself.
+		n.Mem[m.leafStatus(int(loc[tlLeafSucc]))] = -2 // ACQUIRE_PARENT
+		m.finish(n, p)
+	default:
+		return nil
+	}
+	return n
+}
+
+func (m Tree) finish(st *State, p int) {
+	st.Loc[p][tlIter]++
+	if int(st.Loc[p][tlIter]) >= m.Iters {
+		st.PC[p] = tEnd
+	} else {
+		st.PC[p] = tPrepLeaf
+	}
+}
+
+// Check implements Model: at most one process in the CS.
+func (m Tree) Check(st *State) error {
+	in := 0
+	for p := 0; p < m.procs(); p++ {
+		if st.PC[p] == tCS {
+			in++
+		}
+	}
+	if in > 1 {
+		return fmt.Errorf("mutual exclusion violated: %d processes in CS", in)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package model
+
+import "testing"
+
+func TestTreeTwoNodesOneProcEach(t *testing.T) {
+	r := Check(Tree{Nodes: 2, ProcsPerNode: 1, Iters: 2, TL: 1}, 0)
+	if r.Violation != nil || r.Deadlock || r.Truncated {
+		t.Fatalf("%v", r)
+	}
+	t.Log(r)
+}
+
+func TestTreeOneNodeTwoProcs(t *testing.T) {
+	// Degenerate: a single node exercises only intra-node passes plus
+	// threshold-forced round trips through the root.
+	for _, tl := range []int64{1, 2, 1 << 40} {
+		r := Check(Tree{Nodes: 1, ProcsPerNode: 2, Iters: 2, TL: tl}, 0)
+		if r.Violation != nil || r.Deadlock || r.Truncated {
+			t.Fatalf("TL=%d: %v", tl, r)
+		}
+	}
+}
+
+func TestTreeTwoNodesTwoProcsEach(t *testing.T) {
+	// The core configuration: intra-node passes, ACQUIRE_PARENT
+	// hand-offs, element-node reuse across processes — all interleavings.
+	r := Check(Tree{Nodes: 2, ProcsPerNode: 2, Iters: 1, TL: 1}, 0)
+	if r.Violation != nil || r.Deadlock || r.Truncated {
+		t.Fatalf("%v", r)
+	}
+	t.Log(r)
+}
+
+func TestTreeTwoNodesTwoProcsHighTL(t *testing.T) {
+	// With an effectively unlimited threshold the lock stays within a
+	// node until the local queue drains.
+	r := Check(Tree{Nodes: 2, ProcsPerNode: 2, Iters: 1, TL: 1 << 40}, 0)
+	if r.Violation != nil || r.Deadlock || r.Truncated {
+		t.Fatalf("%v", r)
+	}
+}
+
+func TestTreeTwoNodesTwoIters(t *testing.T) {
+	// The full space is enormous; a bounded BFS still covers hundreds of
+	// thousands of distinct states breadth-first — truncation without a
+	// violation or deadlock is the expected outcome.
+	r := Check(Tree{Nodes: 2, ProcsPerNode: 2, Iters: 2, TL: 1}, 200_000)
+	if r.Violation != nil || r.Deadlock {
+		t.Fatalf("%v", r)
+	}
+	t.Log(r)
+}
+
+func TestTreeThreeNodes(t *testing.T) {
+	r := Check(Tree{Nodes: 3, ProcsPerNode: 1, Iters: 2, TL: 2}, 0)
+	if r.Violation != nil || r.Deadlock || r.Truncated {
+		t.Fatalf("%v", r)
+	}
+	t.Log(r)
+}
+
+// brokenTree removes the release-parent-before-redirect ordering: the
+// releaser redirects its leaf successor to the root *before* releasing
+// the root, so two element nodes of the same element can be live at
+// once. The checker must catch the resulting exclusion violation or
+// deadlock — evidence it covers the element-node reuse race.
+type brokenTree struct{ Tree }
+
+func (m brokenTree) Step(st *State, p int) *State {
+	if st.PC[p] == tRelReadLeaf {
+		n := st.Clone()
+		loc := n.Loc[p]
+		loc[tlLeafSucc] = n.Mem[m.leafNext(p)]
+		loc[tlLeafStatus] = n.Mem[m.leafStatus(p)]
+		if loc[tlLeafSucc] != -1 && loc[tlLeafStatus] < m.TL {
+			n.Mem[m.leafStatus(int(loc[tlLeafSucc]))] = loc[tlLeafStatus] + 1
+			m.finish(n, p)
+			return n
+		}
+		if loc[tlLeafSucc] != -1 {
+			// BROKEN: redirect the successor upward immediately, then
+			// release the root afterwards.
+			n.Mem[m.leafStatus(int(loc[tlLeafSucc]))] = -2
+			n.PC[p] = tRelReadRoot
+			return n
+		}
+		n.PC[p] = tRelReadRoot
+		return n
+	}
+	if st.PC[p] == tRelCASLeaf && st.Loc[p][tlLeafSucc] != -1 {
+		// Successor already redirected in the broken step; just finish.
+		n := st.Clone()
+		m.finish(n, p)
+		return n
+	}
+	return m.Tree.Step(st, p)
+}
+
+func TestCheckerCatchesElementNodeReuseRace(t *testing.T) {
+	r := Check(brokenTree{Tree{Nodes: 2, ProcsPerNode: 2, Iters: 2, TL: 1}}, 500_000)
+	if r.Violation == nil && !r.Deadlock {
+		t.Fatalf("broken release ordering not caught: %v", r)
+	}
+	t.Log(r)
+}

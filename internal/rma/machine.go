@@ -1,0 +1,253 @@
+// Package rma simulates the Remote Memory Access programming model of the
+// paper (Listing 1) on a virtual distributed machine.
+//
+// Every simulated process (rank) exposes a window of 64-bit words. Processes
+// access each other's windows with Put, Get, Accumulate, FAO, CAS and Flush,
+// exactly the operation set the paper's locks are written against. Timing is
+// virtual: operations charge a topology-dependent latency and serialize per
+// target rank (NIC/memory occupancy), driven by the deterministic
+// discrete-event scheduler in package sim.
+//
+// Memory effects apply at operation issue (a legal linearization point), so
+// protocol correctness is exact; timing is modeled.
+package rma
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rmalocks/internal/sim"
+	"rmalocks/internal/topology"
+)
+
+// Nil is the null rank/pointer value ∅ of the paper.
+const Nil int64 = -1
+
+// Op selects the operation applied by Accumulate and FAO.
+type Op int
+
+const (
+	// OpSum atomically adds the operand to the target word.
+	OpSum Op = iota
+	// OpReplace atomically replaces the target word with the operand.
+	OpReplace
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "SUM"
+	case OpReplace:
+		return "REPLACE"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Machine is a simulated distributed machine: topology, latency model, and
+// one RMA window per rank. Construct it, let locks and data structures
+// allocate window words with Alloc and register initializers with OnInit,
+// then call Run to execute one simulated program.
+type Machine struct {
+	topo *topology.Topology
+	lat  LatencyModel
+
+	words    int // window words per rank
+	mem      []int64
+	busy     []int64 // per-rank target busy-until (virtual ns)
+	watchers map[int][]watcher
+	inits    []func(m *Machine)
+	seed   int64
+	limit  int64 // virtual time limit (0 = none)
+	bcost  int64 // barrier cost
+	ran    bool
+	stats  Stats
+	maxClk int64
+}
+
+// Config carries optional Machine parameters.
+type Config struct {
+	// Latency is the timing model; DefaultLatency(topo.MaxDistance()) if zero.
+	Latency *LatencyModel
+	// Seed seeds the per-process RNGs (default 1).
+	Seed int64
+	// TimeLimit aborts a run once virtual time exceeds it (0 = none).
+	TimeLimit int64
+	// BarrierCost is the virtual cost of one barrier (default 2µs).
+	BarrierCost int64
+}
+
+// NewMachine creates a machine over the given topology with default config.
+func NewMachine(topo *topology.Topology) *Machine {
+	return NewMachineConfig(topo, Config{})
+}
+
+// NewMachineConfig creates a machine with explicit configuration.
+func NewMachineConfig(topo *topology.Topology, cfg Config) *Machine {
+	lat := DefaultLatency(topo.MaxDistance())
+	if cfg.Latency != nil {
+		lat = cfg.Latency.extend(topo.MaxDistance())
+	}
+	if err := lat.validate(topo.MaxDistance()); err != nil {
+		panic(err)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	bcost := cfg.BarrierCost
+	if bcost == 0 {
+		bcost = 2000
+	}
+	return &Machine{
+		topo:  topo,
+		lat:   lat,
+		seed:  seed,
+		limit: cfg.TimeLimit,
+		bcost: bcost,
+	}
+}
+
+// Topology returns the machine's topology.
+func (m *Machine) Topology() *topology.Topology { return m.topo }
+
+// Latency returns the machine's latency model.
+func (m *Machine) Latency() LatencyModel { return m.lat }
+
+// Procs returns P.
+func (m *Machine) Procs() int { return m.topo.Procs() }
+
+// Alloc reserves n consecutive window words on every rank and returns the
+// base offset. All allocation must happen before Run.
+func (m *Machine) Alloc(n int) int {
+	if m.ran {
+		panic("rma: Alloc after Run")
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("rma: Alloc(%d)", n))
+	}
+	base := m.words
+	m.words += n
+	return base
+}
+
+// OnInit registers f to run (single-threaded) right before the simulated
+// program starts; use it to set initial window contents such as ∅ queue
+// pointers.
+func (m *Machine) OnInit(f func(m *Machine)) { m.inits = append(m.inits, f) }
+
+// Set pokes a window word directly. Only valid inside OnInit callbacks and
+// after Run returns (inspection).
+func (m *Machine) Set(rank, offset int, v int64) { m.mem[m.index(rank, offset)] = v }
+
+// At reads a window word directly. Only valid inside OnInit callbacks and
+// after Run returns (inspection).
+func (m *Machine) At(rank, offset int) int64 { return m.mem[m.index(rank, offset)] }
+
+// Words returns the number of window words allocated per rank.
+func (m *Machine) Words() int { return m.words }
+
+// Run executes body once per rank as a simulated process and returns when
+// all processes finish. It may be called multiple times; window memory is
+// re-initialized before each run.
+func (m *Machine) Run(body func(p *Proc)) error {
+	p := m.topo.Procs()
+	if m.words == 0 {
+		m.words = 1 // allow op-less smoke programs
+	}
+	m.mem = make([]int64, p*m.words)
+	m.busy = make([]int64, p)
+	m.watchers = make(map[int][]watcher)
+	for _, f := range m.inits {
+		f(m)
+	}
+	m.ran = true
+	m.stats = Stats{PerDistance: make([]OpCount, m.topo.MaxDistance()+1)}
+	sched := sim.New(sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost})
+	err := sched.Run(func(h *sim.Handle) {
+		proc := &Proc{
+			m:    m,
+			rank: h.ID(),
+			h:    h,
+			rng:  rand.New(rand.NewSource(m.seed*1000003 + int64(h.ID()))),
+		}
+		body(proc)
+	})
+	m.maxClk = sched.MaxClock()
+	return err
+}
+
+// MaxClock returns the makespan (maximum virtual time, ns) of the last run.
+func (m *Machine) MaxClock() int64 { return m.maxClk }
+
+// Stats returns aggregate operation statistics of the last run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+func (m *Machine) index(rank, offset int) int {
+	if rank < 0 || rank >= m.topo.Procs() {
+		panic(fmt.Sprintf("rma: rank %d out of range [0,%d)", rank, m.topo.Procs()))
+	}
+	if offset < 0 || offset >= m.words {
+		panic(fmt.Sprintf("rma: offset %d out of range [0,%d)", offset, m.words))
+	}
+	return rank*m.words + offset
+}
+
+// charge computes the virtual duration of one op from origin clock to
+// completion, updates the target's busy-until, and returns the duration
+// plus the virtual time at which the operation lands at the target.
+// Caller must be the sole running process (guaranteed by the scheduler).
+func (m *Machine) charge(origin *Proc, target int, atomic bool) (dur, land int64) {
+	d := m.topo.Distance(origin.rank, target)
+	var rtt, occ int64
+	if atomic {
+		rtt, occ = m.lat.AtomicRTT[d], m.lat.AtomicOcc[d]
+	} else {
+		rtt, occ = m.lat.DataRTT[d], m.lat.DataOcc[d]
+	}
+	wire := rtt / 2
+	clock := origin.h.Clock()
+	start := clock + wire
+	if b := m.busy[target]; b > start {
+		start = b
+	}
+	m.busy[target] = start + occ
+	land = start + occ
+	complete := land + wire
+	dur = complete - clock
+	if dur < 1 {
+		dur = 1
+	}
+	return dur, land
+}
+
+// watcher is a process blocked in SpinUntil on one window word.
+type watcher struct {
+	p    *Proc
+	cond func(int64) bool
+}
+
+// wake re-schedules every watcher of the given word whose condition is
+// satisfied by the new value; the wake-up clock is the landing time of the
+// triggering write plus the watcher's read latency for the word.
+func (m *Machine) wake(target, offset int, newVal, land int64) {
+	idx := m.index(target, offset)
+	ws := m.watchers[idx]
+	if len(ws) == 0 {
+		return
+	}
+	remaining := ws[:0]
+	for _, w := range ws {
+		if w.cond(newVal) {
+			detect := m.lat.DataRTT[m.topo.Distance(w.p.rank, target)]
+			w.p.h.Wake(w.p.h, land+detect) // receiver only supplies the scheduler
+			continue
+		}
+		remaining = append(remaining, w)
+	}
+	if len(remaining) == 0 {
+		delete(m.watchers, idx)
+	} else {
+		m.watchers[idx] = remaining
+	}
+}

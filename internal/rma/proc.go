@@ -1,0 +1,175 @@
+package rma
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rmalocks/internal/sim"
+)
+
+// Proc is the per-process handle of a simulated program: it carries the
+// process rank and implements the RMA operation set of the paper's
+// Listing 1. All methods must be called only from the process's own
+// goroutine (the body function passed to Machine.Run).
+type Proc struct {
+	m    *Machine
+	rank int
+	h    *sim.Handle
+	rng  *rand.Rand
+}
+
+// Rank returns the process's rank, 0-based.
+func (p *Proc) Rank() int { return p.rank }
+
+// Machine returns the machine this process runs on.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Now returns the process's virtual clock in nanoseconds.
+func (p *Proc) Now() int64 { return p.h.Clock() }
+
+// Rand returns the process's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Put atomically places src in target's window at offset.
+func (p *Proc) Put(src int64, target, offset int) {
+	i := p.m.index(target, offset)
+	p.m.mem[i] = src
+	p.m.stats.count(opPut, p.m.topo.Distance(p.rank, target))
+	dur, land := p.m.charge(p, target, false)
+	p.m.wake(target, offset, src, land)
+	p.h.Advance(dur)
+}
+
+// Get atomically fetches and returns the word at target's window offset.
+// Per the paper, the value is only guaranteed after a subsequent Flush; in
+// this simulation it is already the linearized value at issue time.
+func (p *Proc) Get(target, offset int) int64 {
+	v := p.m.mem[p.m.index(target, offset)]
+	p.m.stats.count(opGet, p.m.topo.Distance(p.rank, target))
+	dur, _ := p.m.charge(p, target, false)
+	p.h.Advance(dur)
+	return v
+}
+
+// Accumulate atomically applies op with operand oprd to the word at
+// target's window offset.
+func (p *Proc) Accumulate(oprd int64, target, offset int, op Op) {
+	i := p.m.index(target, offset)
+	var nv int64
+	switch op {
+	case OpSum:
+		nv = p.m.mem[i] + oprd
+	case OpReplace:
+		nv = oprd
+	default:
+		panic(fmt.Sprintf("rma: unknown op %v", op))
+	}
+	p.m.mem[i] = nv
+	p.m.stats.count(opAcc, p.m.topo.Distance(p.rank, target))
+	dur, land := p.m.charge(p, target, true)
+	p.m.wake(target, offset, nv, land)
+	p.h.Advance(dur)
+}
+
+// FAO atomically applies op with operand oprd to the word at target's
+// window offset and returns the word's previous value.
+func (p *Proc) FAO(oprd int64, target, offset int, op Op) int64 {
+	i := p.m.index(target, offset)
+	prev := p.m.mem[i]
+	var nv int64
+	switch op {
+	case OpSum:
+		nv = prev + oprd
+	case OpReplace:
+		nv = oprd
+	default:
+		panic(fmt.Sprintf("rma: unknown op %v", op))
+	}
+	p.m.mem[i] = nv
+	p.m.stats.count(opFAO, p.m.topo.Distance(p.rank, target))
+	dur, land := p.m.charge(p, target, true)
+	p.m.wake(target, offset, nv, land)
+	p.h.Advance(dur)
+	return prev
+}
+
+// CAS atomically compares the word at target's window offset with cmp and,
+// if equal, replaces it with src; it returns the word's previous value.
+func (p *Proc) CAS(src, cmp int64, target, offset int) int64 {
+	i := p.m.index(target, offset)
+	prev := p.m.mem[i]
+	changed := prev == cmp
+	if changed {
+		p.m.mem[i] = src
+	}
+	p.m.stats.count(opCAS, p.m.topo.Distance(p.rank, target))
+	dur, land := p.m.charge(p, target, true)
+	if changed {
+		p.m.wake(target, offset, src, land)
+	}
+	p.h.Advance(dur)
+	return prev
+}
+
+// Flush completes all pending RMA calls targeted at target. Operations in
+// this simulation complete synchronously, so Flush only charges a small
+// bookkeeping cost; it is kept so protocols read exactly like the paper.
+func (p *Proc) Flush(target int) {
+	p.m.stats.count(opFlush, 0)
+	p.h.Advance(flushCost)
+}
+
+// FlushAll completes all pending RMA calls of the process.
+func (p *Proc) FlushAll() {
+	p.m.stats.count(opFlush, 0)
+	p.h.Advance(flushCost)
+}
+
+// flushCost is the virtual cost (ns) of a Flush; small but nonzero so that
+// spin loops always advance virtual time.
+const flushCost = 10
+
+// SpinUntil waits until the word at target's window offset satisfies cond
+// and returns the satisfying value. It models an MCS-style spin: the
+// waiting process polls a (usually local or intra-node) word, which on
+// real hardware costs nothing until the granting write arrives; here the
+// process blocks and resumes at the landing time of that write plus one
+// read latency. Use it for grant flags and status words; keep genuine
+// contention loops (e.g., spinlock CAS retries) as explicit loops.
+func (p *Proc) SpinUntil(target, offset int, cond func(int64) bool) int64 {
+	idx := p.m.index(target, offset)
+	v := p.m.mem[idx]
+	if cond(v) {
+		// Fast path: one ordinary read observes the satisfying value.
+		p.m.stats.count(opGet, p.m.topo.Distance(p.rank, target))
+		dur, _ := p.m.charge(p, target, false)
+		p.h.Advance(dur)
+		return v
+	}
+	// Register the watch before yielding the execution token: checking
+	// and registering happen in the same scheduler slice, so a granting
+	// write cannot slip between them (no lost wake-up).
+	for {
+		p.m.watchers[idx] = append(p.m.watchers[idx], watcher{p: p, cond: cond})
+		p.h.Block()
+		// A satisfying write landed (our wake clock includes the read
+		// latency). Re-validate: later writes may have landed before we
+		// were scheduled again.
+		v = p.m.mem[idx]
+		if cond(v) {
+			return v
+		}
+	}
+}
+
+// Compute charges d nanoseconds of local computation (e.g., critical
+// section work) to the process's virtual clock.
+func (p *Proc) Compute(d int64) {
+	p.h.Advance(d)
+}
+
+// Barrier synchronizes all processes of the machine: everyone blocks until
+// the last arrives, then all clocks jump to the maximum plus a fixed cost.
+func (p *Proc) Barrier() {
+	p.h.Barrier()
+}

@@ -1,0 +1,84 @@
+package rma
+
+import (
+	"fmt"
+	"strings"
+)
+
+type opKind int
+
+const (
+	opPut opKind = iota
+	opGet
+	opAcc
+	opFAO
+	opCAS
+	opFlush
+	numOpKinds
+)
+
+var opNames = [numOpKinds]string{"Put", "Get", "Accumulate", "FAO", "CAS", "Flush"}
+
+// OpCount splits operation counts into data (Put/Get) and atomic
+// (Accumulate/FAO/CAS) classes.
+type OpCount struct {
+	Data   int64
+	Atomic int64
+}
+
+// Stats aggregates RMA operation counts for one run. Because the simulator
+// executes one process at a time, plain integers are safe.
+type Stats struct {
+	// Kind[k] counts operations of each kind (Put, Get, ...).
+	Kind [numOpKinds]int64
+	// PerDistance[d] counts operations whose target was at distance d.
+	PerDistance []OpCount
+}
+
+func (s *Stats) count(k opKind, dist int) {
+	s.Kind[k]++
+	if k == opFlush {
+		return
+	}
+	if k == opPut || k == opGet {
+		s.PerDistance[dist].Data++
+	} else {
+		s.PerDistance[dist].Atomic++
+	}
+}
+
+// Total returns the total number of RMA operations excluding flushes.
+func (s Stats) Total() int64 {
+	var t int64
+	for k := opKind(0); k < numOpKinds; k++ {
+		if k != opFlush {
+			t += s.Kind[k]
+		}
+	}
+	return t
+}
+
+// Remote returns the number of operations that left the origin rank.
+func (s Stats) Remote() int64 {
+	var t int64
+	for d := 1; d < len(s.PerDistance); d++ {
+		t += s.PerDistance[d].Data + s.PerDistance[d].Atomic
+	}
+	return t
+}
+
+// String renders a compact summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	for k := opKind(0); k < numOpKinds; k++ {
+		if s.Kind[k] > 0 {
+			fmt.Fprintf(&b, "%s=%d ", opNames[k], s.Kind[k])
+		}
+	}
+	for d, c := range s.PerDistance {
+		if c.Data+c.Atomic > 0 {
+			fmt.Fprintf(&b, "d%d=%d/%d ", d, c.Data, c.Atomic)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

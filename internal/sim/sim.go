@@ -1,0 +1,406 @@
+// Package sim implements a deterministic discrete-event scheduler for
+// simulated distributed processes.
+//
+// Each simulated process is a goroutine with a virtual clock (nanoseconds).
+// The scheduler admits exactly one process at a time: the one with the
+// minimum (clock, id) pair. A process runs until it calls Advance (charging
+// virtual time for an operation it just performed), Barrier, or Exit, at
+// which point the token is handed to the new minimum. Execution is therefore
+// a fully deterministic sequential interleaving in virtual-time order,
+// independent of the host's core count and of the Go scheduler.
+//
+// The package knows nothing about RMA; package rma layers windows, latency
+// and contention modeling on top of it.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// ErrTimeLimit is returned by Run when a process's virtual clock exceeded
+// the configured limit, which almost always indicates livelock or deadlock
+// in the simulated protocol.
+var ErrTimeLimit = errors.New("sim: virtual time limit exceeded")
+
+// ErrDeadlock is returned by Run when no process can make progress: every
+// live process is blocked in a barrier that can never complete.
+var ErrDeadlock = errors.New("sim: deadlock: all live processes blocked in barrier")
+
+// abortSignal is panicked inside process goroutines when the simulation is
+// torn down early; the Run wrapper recovers it.
+type abortSignal struct{}
+
+type proc struct {
+	id      int
+	clock   int64
+	wake    chan struct{}
+	inHeap  bool
+	heapIdx int
+	blocked bool // waiting in a barrier
+	exited  bool
+}
+
+// Handle is a per-process handle passed to the process body. Its methods
+// must only be called from that process's goroutine.
+type Handle struct {
+	s *Scheduler
+	p *proc
+}
+
+// ID returns the process id (the simulated rank).
+func (h *Handle) ID() int { return h.p.id }
+
+// Clock returns the process's current virtual time in nanoseconds.
+func (h *Handle) Clock() int64 { return h.p.clock }
+
+// Scheduler coordinates the virtual clocks of a fixed set of processes.
+type Scheduler struct {
+	mu        sync.Mutex
+	procs     []*proc
+	heap      procHeap
+	live      int
+	arrived   []*proc // processes blocked in the current barrier
+	syncCost  int64   // virtual cost charged by a barrier
+	timeLimit int64   // 0 = unlimited
+	err       error
+	errOnce   sync.Once
+}
+
+// Config holds scheduler construction parameters.
+type Config struct {
+	// Procs is the number of simulated processes.
+	Procs int
+	// TimeLimit aborts the run with ErrTimeLimit once any process's
+	// virtual clock exceeds it. Zero means no limit.
+	TimeLimit int64
+	// BarrierCost is the virtual time charged to every process by a
+	// barrier, on top of synchronizing clocks to the maximum.
+	BarrierCost int64
+}
+
+// New creates a scheduler for cfg.Procs processes.
+func New(cfg Config) *Scheduler {
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("sim: Procs must be positive, got %d", cfg.Procs))
+	}
+	s := &Scheduler{
+		procs:     make([]*proc, cfg.Procs),
+		live:      cfg.Procs,
+		syncCost:  cfg.BarrierCost,
+		timeLimit: cfg.TimeLimit,
+	}
+	for i := range s.procs {
+		s.procs[i] = &proc{id: i, wake: make(chan struct{}, 1), heapIdx: -1}
+	}
+	return s
+}
+
+// Run executes body(handle) once per process, each in its own goroutine,
+// and returns when all processes have exited (or the simulation aborted).
+// A panic inside a body aborts the whole simulation and is returned as an
+// error. Run may only be called once per Scheduler.
+func (s *Scheduler) Run(body func(h *Handle)) error {
+	var wg sync.WaitGroup
+	wg.Add(len(s.procs))
+	for _, p := range s.procs {
+		go func(p *proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); ok {
+						return // torn down by scheduler
+					}
+					s.fail(fmt.Errorf("sim: process %d panicked: %v\n%s", p.id, r, debug.Stack()))
+				}
+			}()
+			h := &Handle{s: s, p: p}
+			h.park() // wait for the initial token
+			body(h)
+			h.exit()
+		}(p)
+	}
+	// All processes start parked in the heap with clock 0; give the token
+	// to the minimum (process 0).
+	s.mu.Lock()
+	for _, p := range s.procs {
+		s.push(p)
+	}
+	s.sendWake(s.popMin())
+	s.mu.Unlock()
+	wg.Wait()
+	return s.err
+}
+
+// Err returns the error recorded by the simulation, if any.
+func (s *Scheduler) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MaxClock returns the largest virtual clock reached by any process. It is
+// meaningful after Run returns (total simulated makespan).
+func (s *Scheduler) MaxClock() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int64
+	for _, p := range s.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// Advance charges d nanoseconds of virtual time to the calling process and
+// yields the execution token if another process now has the minimum clock.
+// d must be positive for operations inside spin loops, or the simulation
+// could livelock; Advance enforces d >= 1.
+func (h *Handle) Advance(d int64) {
+	if d < 1 {
+		d = 1
+	}
+	s := h.s
+	p := h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	p.clock += d
+	if s.timeLimit > 0 && p.clock > s.timeLimit {
+		s.failLocked(fmt.Errorf("%w (process %d at %d ns)", ErrTimeLimit, p.id, p.clock))
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	s.push(p)
+	next := s.popMin()
+	if next == p {
+		s.mu.Unlock()
+		return
+	}
+	s.sendWake(next)
+	s.mu.Unlock()
+	h.park()
+}
+
+// Barrier blocks until every live process has called Barrier, then sets all
+// clocks to the maximum arrival time plus the configured barrier cost.
+func (h *Handle) Barrier() {
+	s := h.s
+	p := h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	p.blocked = true
+	s.arrived = append(s.arrived, p)
+	if len(s.arrived) == s.live {
+		// Last arriver releases everyone.
+		var max int64
+		for _, q := range s.arrived {
+			if q.clock > max {
+				max = q.clock
+			}
+		}
+		max += s.syncCost
+		for _, q := range s.arrived {
+			q.clock = max
+			q.blocked = false
+			s.push(q)
+		}
+		s.arrived = s.arrived[:0]
+		next := s.popMin()
+		if next == p {
+			s.mu.Unlock()
+			return
+		}
+		s.sendWake(next)
+		s.mu.Unlock()
+		h.park()
+		return
+	}
+	// Hand the token over; non-arrived live processes are all in the heap.
+	if len(s.heap) == 0 {
+		s.failLocked(ErrDeadlock)
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	next := s.popMin()
+	s.sendWake(next)
+	s.mu.Unlock()
+	h.park()
+}
+
+// Block removes the calling process from scheduling until another process
+// calls Wake on it. Use it for event-driven waiting (e.g., an MCS-style
+// spin on a local flag, where polling is free on real hardware and the
+// wake time is the landing time of the granting write). If no runnable
+// process remains the simulation aborts with ErrDeadlock.
+func (h *Handle) Block() {
+	s := h.s
+	p := h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	p.blocked = true
+	if len(s.heap) == 0 {
+		s.failLocked(ErrDeadlock)
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	next := s.popMin()
+	s.sendWake(next)
+	s.mu.Unlock()
+	h.park()
+}
+
+// Wake makes the blocked process q runnable again with its virtual clock
+// advanced to at least clock. It must be called by the currently running
+// process; the caller keeps the execution token.
+func (h *Handle) Wake(q *Handle, clock int64) {
+	s := h.s
+	s.mu.Lock()
+	if !q.p.blocked {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("sim: Wake of non-blocked process %d", q.p.id))
+	}
+	q.p.blocked = false
+	if clock > q.p.clock {
+		q.p.clock = clock
+	}
+	s.push(q.p)
+	s.mu.Unlock()
+}
+
+// park blocks the calling process until it is woken with the token.
+func (h *Handle) park() {
+	<-h.p.wake
+	h.s.mu.Lock()
+	err := h.s.err
+	h.s.mu.Unlock()
+	if err != nil {
+		panic(abortSignal{})
+	}
+}
+
+// exit removes the process from the simulation and hands the token on.
+func (h *Handle) exit() {
+	s := h.s
+	p := h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return
+	}
+	p.exited = true
+	s.live--
+	if s.live == 0 {
+		s.mu.Unlock()
+		return
+	}
+	// A barrier that was waiting for us can now be complete.
+	if len(s.arrived) == s.live && s.live > 0 {
+		var max int64
+		for _, q := range s.arrived {
+			if q.clock > max {
+				max = q.clock
+			}
+		}
+		max += s.syncCost
+		for _, q := range s.arrived {
+			q.clock = max
+			q.blocked = false
+			s.push(q)
+		}
+		s.arrived = s.arrived[:0]
+	}
+	if len(s.heap) == 0 {
+		s.failLocked(ErrDeadlock)
+		s.mu.Unlock()
+		return
+	}
+	next := s.popMin()
+	s.sendWake(next)
+	s.mu.Unlock()
+}
+
+// fail aborts the simulation with err (first error wins) and wakes every
+// parked process so its goroutine can unwind.
+func (s *Scheduler) fail(err error) {
+	s.mu.Lock()
+	s.failLocked(err)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) failLocked(err error) {
+	s.errOnce.Do(func() { s.err = err })
+	for _, p := range s.procs {
+		if !p.exited {
+			select {
+			case p.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+func (s *Scheduler) sendWake(p *proc) {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+		// Already has a pending wake (only possible during teardown).
+	}
+}
+
+// heap helpers (min-heap on (clock, id)).
+
+type procHeap []*proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].id < h[j].id
+}
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *procHeap) Push(x any) {
+	p := x.(*proc)
+	p.heapIdx = len(*h)
+	*h = append(*h, p)
+}
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	p.heapIdx = -1
+	*h = old[:n-1]
+	return p
+}
+
+func (s *Scheduler) push(p *proc) {
+	if p.inHeap {
+		panic(fmt.Sprintf("sim: process %d pushed twice", p.id))
+	}
+	p.inHeap = true
+	heap.Push(&s.heap, p)
+}
+
+func (s *Scheduler) popMin() *proc {
+	p := heap.Pop(&s.heap).(*proc)
+	p.inHeap = false
+	return p
+}

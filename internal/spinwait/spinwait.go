@@ -1,0 +1,55 @@
+// Package spinwait provides the virtual-time exponential backoff used by
+// every spin loop in the lock protocols.
+//
+// The paper's protocols spin with repeated Get+Flush pairs. In a
+// discrete-event simulation, polling at the raw Get rate would generate
+// enormous numbers of events while a process waits; real implementations
+// insert backoff for the same reason (to reduce load on the memory system).
+// Backoff advances the waiting process's virtual clock, so waiting costs
+// time exactly as it should.
+package spinwait
+
+// Computer is the minimal clock-advancing surface a backoff needs; both
+// rma.Proc and test fakes satisfy it.
+type Computer interface {
+	Compute(d int64)
+}
+
+// Backoff implements capped exponential backoff in virtual nanoseconds.
+// The zero value is not usable; use New or Default.
+type Backoff struct {
+	min, max, cur int64
+}
+
+// New returns a backoff starting at min ns, doubling up to max ns.
+func New(min, max int64) Backoff {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return Backoff{min: min, max: max, cur: min}
+}
+
+// Default returns the backoff policy used by the lock protocols: start at
+// 100 ns, cap at 2 µs (well below the modeled network latencies, so backoff
+// adds little noise to measured lock passing times).
+func Default() Backoff { return New(100, 2000) }
+
+// Pause charges the current backoff interval to p's virtual clock and
+// doubles the interval up to the cap.
+func (b *Backoff) Pause(p Computer) {
+	p.Compute(b.cur)
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+}
+
+// Reset restores the interval to its minimum; call it after the awaited
+// condition was observed so the next wait starts fast.
+func (b *Backoff) Reset() { b.cur = b.min }
+
+// Cur returns the next pause duration (for tests).
+func (b *Backoff) Cur() int64 { return b.cur }

@@ -1,0 +1,103 @@
+package spinwait
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type fakeClock struct{ total int64 }
+
+func (f *fakeClock) Compute(d int64) { f.total += d }
+
+func TestPauseDoublesUpToCap(t *testing.T) {
+	b := New(100, 800)
+	var c fakeClock
+	waits := []int64{}
+	for i := 0; i < 6; i++ {
+		before := c.total
+		b.Pause(&c)
+		waits = append(waits, c.total-before)
+	}
+	want := []int64{100, 200, 400, 800, 800, 800}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Fatalf("waits=%v want %v", waits, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(50, 1000)
+	var c fakeClock
+	b.Pause(&c)
+	b.Pause(&c)
+	b.Reset()
+	if b.Cur() != 50 {
+		t.Errorf("Cur after Reset = %d, want 50", b.Cur())
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	b := Default()
+	if b.Cur() < 1 {
+		t.Error("default backoff starts below 1ns")
+	}
+	var c fakeClock
+	for i := 0; i < 20; i++ {
+		b.Pause(&c)
+	}
+	if b.Cur() > 2000 {
+		t.Errorf("default cap exceeded: %d", b.Cur())
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	b := New(0, -5) // both invalid: clamp to 1
+	var c fakeClock
+	b.Pause(&c)
+	if c.total < 1 {
+		t.Error("pause must always advance time")
+	}
+	if b.Cur() < 1 {
+		t.Error("interval collapsed to zero")
+	}
+}
+
+func TestPauseAlwaysPositiveProperty(t *testing.T) {
+	f := func(min, max int16, n uint8) bool {
+		b := New(int64(min), int64(max))
+		var c fakeClock
+		for i := 0; i < int(n%32); i++ {
+			before := c.total
+			b.Pause(&c)
+			if c.total <= before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapIsRespectedProperty(t *testing.T) {
+	f := func(min, max uint16) bool {
+		lo, hi := int64(min%1000)+1, int64(max%10000)+1
+		if hi < lo {
+			hi = lo
+		}
+		b := New(lo, hi)
+		var c fakeClock
+		for i := 0; i < 40; i++ {
+			b.Pause(&c)
+			if b.Cur() > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

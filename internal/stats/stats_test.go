@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if s.SampleTotal != 15 {
+		t.Errorf("total=%v", s.SampleTotal)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev=%v want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if Percentile(s, 0) != 10 || Percentile(s, 100) != 40 {
+		t.Error("percentile bounds wrong")
+	}
+	if Percentile(s, 50) != 25 {
+		t.Errorf("P50=%v want 25", Percentile(s, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("nil sample should give 0")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		s := make([]float64, len(raw))
+		copy(s, raw)
+		sort.Float64s(s)
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(s, pa) <= Percentile(s, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanWithinMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		clean := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Demo", Columns: []string{"P", "Scheme", "Value"}}
+	tb.AddRow("16", "RMA-MCS", "1.23")
+	tb.AddRow("1024", "foMPI-Spin", "0.04")
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") || !strings.Contains(out, "RMA-MCS") {
+		t.Errorf("bad render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "P,Scheme,Value\n") {
+		t.Errorf("bad CSV: %q", csv)
+	}
+	if !strings.Contains(csv, "1024,foMPI-Spin,0.04") {
+		t.Errorf("bad CSV row: %q", csv)
+	}
+}
+
+func TestFmtF(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		123.45: "123.5",
+		12.345: "12.35",
+		0.1234: "0.1234",
+	}
+	for in, want := range cases {
+		if got := FmtF(in); got != want {
+			t.Errorf("FmtF(%v)=%q want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package rmalocks is a Go reproduction of "High-Performance Distributed
+// RMA Locks" (Schmid, Besta, Hoefler — ACM HPDC'16): topology-aware
+// distributed MCS and Reader-Writer locks built on Remote Memory Access
+// (RMA) operations, together with the substrate they need — a
+// deterministic discrete-event simulation of a multi-node machine with an
+// RDMA-style network.
+//
+// # Quick start
+//
+//	machine := rmalocks.NewMachine(rmalocks.MachineSpec{Nodes: 4, ProcsPerNode: 16})
+//	lock := rmalocks.NewRMARW(machine, rmalocks.RWParams{})
+//	err := machine.Run(func(p *rmalocks.Proc) {
+//		lock.AcquireRead(p)
+//		// ... read shared state ...
+//		lock.ReleaseRead(p)
+//	})
+//
+// The machine runs one goroutine per simulated process; virtual time is
+// deterministic, so results are exactly reproducible. See the examples/
+// directory for complete programs and DESIGN.md for how the simulation
+// maps to the paper's Cray XC30 testbed.
+package rmalocks
+
+import (
+	"rmalocks/internal/locks"
+	"rmalocks/internal/locks/dmcs"
+	"rmalocks/internal/locks/fompi"
+	"rmalocks/internal/locks/rmamcs"
+	"rmalocks/internal/locks/rmarw"
+	"rmalocks/internal/rma"
+	"rmalocks/internal/topology"
+)
+
+// Proc is the per-process handle passed to the body of Machine.Run; it
+// exposes the paper's RMA operations (Put, Get, Accumulate, FAO, CAS,
+// Flush) plus virtual-time helpers (Compute, Barrier, Now).
+type Proc = rma.Proc
+
+// Machine is a simulated distributed machine.
+type Machine = rma.Machine
+
+// Topology describes the machine's element hierarchy.
+type Topology = topology.Topology
+
+// Mutex is a distributed mutual-exclusion lock.
+type Mutex = locks.Mutex
+
+// RWMutex is a distributed Reader-Writer lock.
+type RWMutex = locks.RWMutex
+
+// Nil is the null rank (∅) used in queue pointers.
+const Nil = rma.Nil
+
+// MachineSpec describes a machine to simulate. The zero value of optional
+// fields selects the paper's defaults.
+type MachineSpec struct {
+	// Nodes is the number of compute nodes (level-2 elements). Default 1.
+	Nodes int
+	// ProcsPerNode is the number of processes per node. Default 16 (the
+	// paper's one-process-per-hardware-thread configuration).
+	ProcsPerNode int
+	// Racks optionally adds a third level above the nodes: Nodes must be
+	// a multiple of Racks. Zero means a two-level machine.
+	Racks int
+	// Seed seeds the per-process random streams (default 1).
+	Seed int64
+	// TimeLimit aborts a run after this much virtual time (ns); zero
+	// means no limit.
+	TimeLimit int64
+}
+
+// NewMachine builds a simulated machine from spec using the calibrated
+// default latency model.
+func NewMachine(spec MachineSpec) *Machine {
+	if spec.Nodes == 0 {
+		spec.Nodes = 1
+	}
+	if spec.ProcsPerNode == 0 {
+		spec.ProcsPerNode = 16
+	}
+	var topo *Topology
+	if spec.Racks > 0 {
+		topo = topology.MustNew([]int{1, spec.Racks, spec.Nodes}, spec.ProcsPerNode)
+	} else {
+		topo = topology.TwoLevel(spec.Nodes, spec.ProcsPerNode)
+	}
+	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit})
+}
+
+// NewMachineForProcs builds a two-level machine hosting exactly p
+// processes at the paper's 16 processes per node.
+func NewMachineForProcs(p int) *Machine {
+	return rma.NewMachine(topology.ForProcs(p, 16))
+}
+
+// MCSParams configures the topology-aware RMA-MCS lock.
+type MCSParams struct {
+	// TL holds the locality thresholds T_L,i (index = level, 1-based;
+	// entry 0 ignored). Zero entries take the default (32).
+	TL []int64
+}
+
+// NewRMAMCS allocates the paper's topology-aware distributed MCS lock
+// (§3.5) on m. Call before m.Run.
+func NewRMAMCS(m *Machine, p MCSParams) *rmamcs.Lock {
+	return rmamcs.NewConfig(m, rmamcs.Config{TL: p.TL})
+}
+
+// NewDMCS allocates the topology-oblivious distributed MCS lock (§2.4).
+func NewDMCS(m *Machine) *dmcs.Lock { return dmcs.New(m) }
+
+// NewFoMPISpin allocates the foMPI-style centralized spinlock baseline.
+func NewFoMPISpin(m *Machine) *fompi.SpinLock { return fompi.NewSpin(m) }
+
+// NewFoMPIRW allocates the foMPI-style centralized Reader-Writer lock
+// baseline.
+func NewFoMPIRW(m *Machine) *fompi.RWLock { return fompi.NewRW(m) }
+
+// RWParams configures the RMA-RW lock (the paper's three-dimensional
+// parameter space, Figure 1).
+type RWParams struct {
+	// TDC is the distributed-counter threshold T_DC: one physical
+	// counter every TDC-th process. Default: one per compute node.
+	TDC int
+	// TR is the reader threshold T_R. Default 1000.
+	TR int64
+	// TL holds the locality thresholds T_L,i; T_W = Π T_L,i.
+	TL []int64
+}
+
+// NewRMARW allocates the paper's topology-aware distributed Reader-Writer
+// lock (§3) on m. Call before m.Run.
+func NewRMARW(m *Machine, p RWParams) *rmarw.Lock {
+	return rmarw.NewConfig(m, rmarw.Config{TDC: p.TDC, TR: p.TR, TL: p.TL})
+}

@@ -1,0 +1,123 @@
+package rmalocks_test
+
+import (
+	"testing"
+
+	"rmalocks"
+)
+
+func TestQuickstartShape(t *testing.T) {
+	// The package-level quick start must work exactly as documented.
+	machine := rmalocks.NewMachine(rmalocks.MachineSpec{Nodes: 2, ProcsPerNode: 4})
+	lock := rmalocks.NewRMARW(machine, rmalocks.RWParams{})
+	counter := machine.Alloc(1)
+	err := machine.Run(func(p *rmalocks.Proc) {
+		for i := 0; i < 10; i++ {
+			if p.Rank() == 0 {
+				lock.AcquireWrite(p)
+				v := p.Get(0, counter)
+				p.Flush(0)
+				p.Put(v+1, 0, counter)
+				p.Flush(0)
+				lock.ReleaseWrite(p)
+			} else {
+				lock.AcquireRead(p)
+				p.Get(0, counter)
+				p.Flush(0)
+				lock.ReleaseRead(p)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := machine.At(0, counter); got != 10 {
+		t.Errorf("counter=%d want 10", got)
+	}
+}
+
+func TestAllLockKindsViaFacade(t *testing.T) {
+	machine := rmalocks.NewMachine(rmalocks.MachineSpec{Nodes: 2, ProcsPerNode: 4, TimeLimit: 60_000_000_000})
+	mcs := rmalocks.NewRMAMCS(machine, rmalocks.MCSParams{TL: []int64{0, 0, 4}})
+	dm := rmalocks.NewDMCS(machine)
+	spin := rmalocks.NewFoMPISpin(machine)
+	frw := rmalocks.NewFoMPIRW(machine)
+	var a, b, c, d int64
+	err := machine.Run(func(p *rmalocks.Proc) {
+		for i := 0; i < 5; i++ {
+			mcs.Acquire(p)
+			va := a
+			p.Compute(50)
+			a = va + 1
+			mcs.Release(p)
+
+			dm.Acquire(p)
+			vb := b
+			p.Compute(50)
+			b = vb + 1
+			dm.Release(p)
+
+			spin.Acquire(p)
+			vc := c
+			p.Compute(50)
+			c = vc + 1
+			spin.Release(p)
+
+			frw.AcquireWrite(p)
+			vd := d
+			p.Compute(50)
+			d = vd + 1
+			frw.ReleaseWrite(p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(5 * machine.Procs())
+	for name, got := range map[string]int64{"rmamcs": a, "dmcs": b, "spin": c, "fompirw": d} {
+		if got != want {
+			t.Errorf("%s counter=%d want %d", name, got, want)
+		}
+	}
+}
+
+func TestThreeLevelMachineViaFacade(t *testing.T) {
+	machine := rmalocks.NewMachine(rmalocks.MachineSpec{Racks: 2, Nodes: 4, ProcsPerNode: 2, TimeLimit: 60_000_000_000})
+	if machine.Topology().Levels() != 3 {
+		t.Fatalf("levels=%d want 3", machine.Topology().Levels())
+	}
+	lock := rmalocks.NewRMAMCS(machine, rmalocks.MCSParams{})
+	var n int64
+	err := machine.Run(func(p *rmalocks.Proc) {
+		for i := 0; i < 8; i++ {
+			lock.Acquire(p)
+			v := n
+			p.Compute(100)
+			n = v + 1
+			lock.Release(p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(8*machine.Procs()) {
+		t.Errorf("n=%d want %d", n, 8*machine.Procs())
+	}
+}
+
+func TestNewMachineForProcs(t *testing.T) {
+	m := rmalocks.NewMachineForProcs(40)
+	if m.Procs() != 40 {
+		t.Errorf("Procs=%d want 40", m.Procs())
+	}
+	if m.Topology().ProcsPerLeaf() != 16 {
+		t.Errorf("ProcsPerLeaf=%d want 16", m.Topology().ProcsPerLeaf())
+	}
+}
+
+func TestMachineSpecDefaults(t *testing.T) {
+	m := rmalocks.NewMachine(rmalocks.MachineSpec{})
+	if m.Procs() != 16 {
+		t.Errorf("default machine has %d procs, want 16 (1 node x 16)", m.Procs())
+	}
+}
