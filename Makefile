@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race bench grid clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmarks are benchstat-compatible: `make bench`, change code,
+# `make bench` again, then `benchstat` the two results/bench.txt copies.
+bench:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench . -benchmem ./... | tee results/bench.txt
+
+# One full scheme × workload × profile grid with reproducibility check.
+grid:
+	@mkdir -p results
+	$(GO) run ./cmd/workbench -profiles uniform,zipf,bursty,sweep -check | tee results/grid.txt
+
+clean:
+	rm -rf results
+	$(GO) clean ./...

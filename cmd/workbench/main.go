@@ -1,0 +1,149 @@
+// Command workbench drives the unified workload subsystem: it enumerates
+// a scheme × workload × contention-profile grid, runs every cell through
+// the generic harness, and prints one aligned result table (or CSV).
+//
+// Usage:
+//
+//	workbench                               # all 5 schemes × empty CS × uniform,zipf,bursty
+//	workbench -profiles uniform,zipf,bursty,sweep -workloads empty,sharedop
+//	workbench -schemes RMA-RW,foMPI-RW -workloads dht -fw 0.2 -locks 8
+//	workbench -p 128 -iters 100 -seed 3 -check -csv
+//
+// Every run is a deterministic function of the seed; -check re-runs each
+// cell and verifies the reports are byte-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rmalocks/internal/stats"
+	"rmalocks/internal/workload"
+)
+
+func main() {
+	var (
+		schemes   = flag.String("schemes", "all", "comma-separated lock schemes, or 'all' ("+strings.Join(workload.Schemes, ",")+")")
+		workloads = flag.String("workloads", "empty", "comma-separated workloads, or 'all' ("+strings.Join(workload.WorkloadNames, ",")+")")
+		profiles  = flag.String("profiles", "uniform,zipf,bursty", "comma-separated contention profiles, or 'all' ("+strings.Join(workload.ProfileNames, ",")+")")
+		p         = flag.Int("p", 64, "process count")
+		ppn       = flag.Int("ppn", 16, "processes per node")
+		iters     = flag.Int("iters", 50, "measured cycles per process")
+		seed      = flag.Int64("seed", 1, "machine seed (runs are deterministic per seed)")
+		fw        = flag.Float64("fw", 0.1, "writer fraction (the sweep profile sweeps 0→fw, or 0→1 when fw is 0)")
+		nlocks    = flag.Int("locks", 8, "lock-set size for multi-lock profiles (clamped to p for dht)")
+		zipfS     = flag.Float64("zipfs", 1.2, "Zipf skew exponent")
+		check     = flag.Bool("check", false, "run every cell twice and verify byte-identical reports")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	schemeList := split(*schemes, workload.Schemes)
+	workloadList := split(*workloads, workload.WorkloadNames)
+	profileList := split(*profiles, workload.ProfileNames)
+
+	tb := &stats.Table{
+		Title: fmt.Sprintf("Workload grid: P=%d ppn=%d iters=%d seed=%d fw=%g", *p, *ppn, *iters, *seed, *fw),
+		Columns: []string{"Scheme", "Workload", "Profile", "Locks",
+			"Mops", "MeanLat[us]", "P95Lat[us]", "Makespan[ms]", "Reads", "Writes", "Extra"},
+	}
+	start := time.Now()
+	cells := 0
+	for _, scheme := range schemeList {
+		for _, wname := range workloadList {
+			for _, pname := range profileList {
+				rep, nl, err := runCell(scheme, wname, pname, *p, *ppn, *iters, *seed, *fw, *nlocks, *zipfS)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if *check {
+					rep2, _, err := runCell(scheme, wname, pname, *p, *ppn, *iters, *seed, *fw, *nlocks, *zipfS)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					if rep.Fingerprint() != rep2.Fingerprint() {
+						fmt.Fprintf(os.Stderr, "workbench: %s/%s/%s NOT reproducible with seed %d\n",
+							scheme, wname, pname, *seed)
+						os.Exit(1)
+					}
+				}
+				tb.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(nl),
+					stats.FmtF(rep.ThroughputMops), stats.FmtF(rep.Latency.Mean), stats.FmtF(rep.Latency.P95),
+					stats.FmtF(rep.MakespanMs), fmt.Sprint(rep.Reads), fmt.Sprint(rep.Writes), extraString(rep))
+				cells++
+			}
+		}
+	}
+	if *csv {
+		fmt.Printf("# %s\n%s", tb.Title, tb.CSV())
+	} else {
+		fmt.Println(tb.String())
+	}
+	status := "deterministic per seed (re-run with -check to verify)"
+	if *check {
+		status = "all cells reproduced byte-identically"
+	}
+	fmt.Fprintf(os.Stderr, "[%d cells in %v; %s]\n", cells, time.Since(start).Round(time.Millisecond), status)
+}
+
+func runCell(scheme, wname, pname string, p, ppn, iters int, seed int64, fw float64, nlocks int, zipfS float64) (workload.Report, int, error) {
+	wl, err := workload.ByName(wname)
+	if err != nil {
+		return workload.Report{}, 0, err
+	}
+	// A sharded DHT needs one volume per lock: clamp the set to P.
+	if wname == "dht" && nlocks > p {
+		nlocks = p
+	}
+	prof, err := workload.ProfileByName(pname, workload.ProfileOpts{
+		Locks: nlocks, FW: fw, ZipfS: zipfS, Span: iters,
+	})
+	if err != nil {
+		return workload.Report{}, 0, err
+	}
+	rep, err := workload.Run(workload.Spec{
+		Scheme:       scheme,
+		P:            p,
+		ProcsPerNode: ppn,
+		Seed:         seed,
+		Iters:        iters,
+		Profile:      prof,
+		Workload:     wl,
+	})
+	return rep, prof.Locks(), err
+}
+
+func extraString(rep workload.Report) string {
+	if len(rep.Extra) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(rep.Extra))
+	for _, k := range []string{"stored", "overflows", "counter"} {
+		if v, ok := rep.Extra[k]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+func split(s string, all []string) []string {
+	if s == "all" {
+		return all
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module rmalocks
+
+go 1.21

@@ -3,10 +3,9 @@ package bench
 import (
 	"fmt"
 
-	"rmalocks/internal/locks/rmamcs"
 	"rmalocks/internal/rma"
 	"rmalocks/internal/stats"
-	"rmalocks/internal/topology"
+	"rmalocks/internal/workload"
 )
 
 // This file holds the ablation studies DESIGN.md calls out: they probe
@@ -107,48 +106,14 @@ func scaleRemote(pct int64) func(maxDist int) rma.LatencyModel {
 // runMutexWithLatency is RunMutex with a custom latency model factory.
 func runMutexWithLatency(params MutexParams, mkLat func(maxDist int) rma.LatencyModel) (Result, error) {
 	params.fill()
-	topo := topology.ForProcs(params.P, params.ProcsPerNode)
-	lat := mkLat(topo.MaxDistance())
-	m := rma.NewMachineConfig(topo, rma.Config{Seed: params.Seed, TimeLimit: timeLimit, Latency: &lat})
-	mu, err := newMutex(m, params)
-	if err != nil {
+	if err := validMutexScheme(params.Scheme); err != nil {
 		return Result{}, err
 	}
-	dataOff := m.Alloc(1)
-	warmup := params.Iters/10 + 1
-	lats := make([][]float64, m.Procs())
-	ends := make([]int64, m.Procs())
-	var start int64
-	runErr := m.Run(func(p *rma.Proc) {
-		mine := make([]float64, 0, params.Iters)
-		for i := 0; i < warmup; i++ {
-			mu.Acquire(p)
-			csWork(p, params.Workload, dataOff, true)
-			mu.Release(p)
-			afterWork(p, params.Workload)
-		}
-		p.Barrier()
-		if p.Rank() == 0 {
-			start = p.Now()
-		}
-		for i := 0; i < params.Iters; i++ {
-			t0 := p.Now()
-			mu.Acquire(p)
-			csWork(p, params.Workload, dataOff, true)
-			mu.Release(p)
-			mine = append(mine, float64(p.Now()-t0)/1e3)
-			afterWork(p, params.Workload)
-		}
-		ends[p.Rank()] = p.Now()
-		lats[p.Rank()] = mine
-	})
-	if runErr != nil {
-		return Result{}, fmt.Errorf("bench: %s P=%d: %w", params.Scheme, params.P, runErr)
+	spec := mutexSpec(params)
+	spec.Latency = mkLat
+	rep, err := workload.Run(spec)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: %s P=%d: %w", params.Scheme, params.P, err)
 	}
-	res := summarize(params.Scheme, params.P, m, start, ends, lats)
-	res.WarmupOps = int64(warmup * m.Procs())
-	if l, ok := mu.(*rmamcs.Lock); ok {
-		res.DirectEntries = l.DirectEntries
-	}
-	return res, nil
+	return toResult(rep, params.Scheme, params.P), nil
 }

@@ -7,14 +7,8 @@ package bench
 import (
 	"fmt"
 
-	"rmalocks/internal/locks"
-	"rmalocks/internal/locks/dmcs"
-	"rmalocks/internal/locks/fompi"
-	"rmalocks/internal/locks/rmamcs"
-	"rmalocks/internal/locks/rmarw"
-	"rmalocks/internal/rma"
 	"rmalocks/internal/stats"
-	"rmalocks/internal/topology"
+	"rmalocks/internal/workload"
 )
 
 // Workload selects the critical-section and inter-acquire behaviour of a
@@ -48,17 +42,18 @@ func (w Workload) String() string {
 	}
 }
 
-// Mutex scheme names (comparison targets of §5.1).
+// Mutex scheme names (comparison targets of §5.1), aliased from the
+// workload harness so the two packages cannot drift.
 const (
-	SchemeFoMPISpin = "foMPI-Spin"
-	SchemeDMCS      = "D-MCS"
-	SchemeRMAMCS    = "RMA-MCS"
+	SchemeFoMPISpin = workload.SchemeFoMPISpin
+	SchemeDMCS      = workload.SchemeDMCS
+	SchemeRMAMCS    = workload.SchemeRMAMCS
 )
 
 // RW scheme names (§5.2, §5.3).
 const (
-	SchemeFoMPIRW = "foMPI-RW"
-	SchemeRMARW   = "RMA-RW"
+	SchemeFoMPIRW = workload.SchemeFoMPIRW
+	SchemeRMARW   = workload.SchemeRMARW
 	SchemeFoMPIA  = "foMPI-A" // DHT only: raw atomics, no lock
 )
 
@@ -171,74 +166,7 @@ func (p *RWParams) fill() {
 	}
 }
 
-// newMutex builds the mutex for a scheme on machine m.
-func newMutex(m *rma.Machine, p MutexParams) (locks.Mutex, error) {
-	switch p.Scheme {
-	case SchemeFoMPISpin:
-		return fompi.NewSpin(m), nil
-	case SchemeDMCS:
-		return dmcs.New(m), nil
-	case SchemeRMAMCS:
-		return rmamcs.NewConfig(m, rmamcs.Config{TL: p.TL}), nil
-	default:
-		return nil, fmt.Errorf("bench: unknown mutex scheme %q", p.Scheme)
-	}
-}
-
-// newRW builds the RW lock for a scheme on machine m.
-func newRW(m *rma.Machine, p RWParams) (locks.RWMutex, error) {
-	switch p.Scheme {
-	case SchemeFoMPIRW:
-		return fompi.NewRW(m), nil
-	case SchemeRMARW:
-		return rmarw.NewConfig(m, rmarw.Config{TDC: p.TDC, TR: p.TR, TL: p.TL}), nil
-	default:
-		return nil, fmt.Errorf("bench: unknown RW scheme %q", p.Scheme)
-	}
-}
-
-// machineFor builds the benchmark machine for P processes.
-func machineFor(P, ppn int, seed int64) *rma.Machine {
-	topo := topology.ForProcs(P, ppn)
-	return rma.NewMachineConfig(topo, rma.Config{Seed: seed, TimeLimit: timeLimit})
-}
-
-// csWork performs the critical-section body of a workload. dataOff is a
-// shared data word allocated on every rank; write selects a mutating
-// access (writers/mutex holders) vs a read access (readers).
-func csWork(p *rma.Proc, w Workload, dataOff int, write bool) {
-	switch w {
-	case ECSB, WARB:
-		// empty CS
-	case SOB:
-		// One memory access to the protected data (fine-grained graph
-		// processing); the data lives on a random rank.
-		target := p.Rand().Intn(p.Machine().Procs())
-		if write {
-			p.Put(1, target, dataOff)
-		} else {
-			p.Get(target, dataOff)
-		}
-		p.Flush(target)
-	case WCSB:
-		// Increment a shared counter, then 1–4 µs of local computation.
-		p.Accumulate(1, 0, dataOff, rma.OpSum)
-		p.Flush(0)
-		p.Compute(1000 + int64(p.Rand().Intn(3000)))
-	}
-}
-
-// afterWork performs the inter-acquire behaviour of a workload.
-func afterWork(p *rma.Proc, w Workload) {
-	if w == WARB {
-		p.Compute(1000 + int64(p.Rand().Intn(3000)))
-	}
-}
-
-// throughputMops converts (ops, makespan ns) to million ops per second.
-func throughputMops(ops int64, ns int64) float64 {
-	if ns <= 0 {
-		return 0
-	}
-	return float64(ops) / float64(ns) * 1e3
-}
+// The per-workload critical-section bodies, lock construction, and the
+// measurement loop itself live in internal/workload; the Run* functions
+// in run.go translate this package's parameter structs into
+// workload.Spec values.

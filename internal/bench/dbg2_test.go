@@ -3,7 +3,11 @@ package bench
 import "testing"
 
 func TestDbgWedge(t *testing.T) {
-	for _, cfg := range []struct{ p int; fw float64; tr int64 }{
+	for _, cfg := range []struct {
+		p  int
+		fw float64
+		tr int64
+	}{
 		{16, 0, 64}, {16, 0, 256}, {16, 0.002, 64}, {64, 0, 64}, {64, 0.002, 64}, {64, 0.002, 256},
 	} {
 		r, err := RunRW(RWParams{Scheme: SchemeRMARW, P: cfg.p, Workload: ECSB, FW: cfg.fw, Iters: 60, TR: cfg.tr})

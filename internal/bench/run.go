@@ -3,11 +3,64 @@ package bench
 import (
 	"fmt"
 
-	"rmalocks/internal/dht"
-	"rmalocks/internal/locks/rmamcs"
-	"rmalocks/internal/rma"
-	"rmalocks/internal/stats"
+	"rmalocks/internal/workload"
 )
+
+// The three Run* entry points below are thin adapters over the unified
+// workload subsystem (internal/workload): they translate the historical
+// parameter structs into a workload.Spec and map the Report back. All
+// driver loops live in workload.Run.
+
+// wlFor maps the paper's benchmark selector to a (workload, profile)
+// pair of the unified subsystem; fw is the writer fraction (1 for
+// mutexes, where every entry is exclusive).
+func wlFor(w Workload, fw float64) (workload.Workload, workload.Profile) {
+	prof := workload.Uniform{FW: fw}
+	switch w {
+	case SOB:
+		return &workload.SharedOp{}, prof
+	case WCSB:
+		return &workload.CounterCompute{}, prof
+	case WARB:
+		// Wait-after-release: 1–4 µs pause between releases.
+		prof.ThinkNs, prof.ThinkJitterNs = 1000, 3000
+		return workload.Empty{}, prof
+	default: // ECSB
+		return workload.Empty{}, prof
+	}
+}
+
+// mutexSpec builds the workload.Spec shared by RunMutex and the ablation
+// variants.
+func mutexSpec(params MutexParams) workload.Spec {
+	wl, prof := wlFor(params.Workload, 1)
+	return workload.Spec{
+		Scheme:       params.Scheme,
+		P:            params.P,
+		ProcsPerNode: params.ProcsPerNode,
+		Seed:         params.Seed,
+		TimeLimit:    timeLimit,
+		Iters:        params.Iters,
+		Profile:      prof,
+		Workload:     wl,
+		Params:       workload.SchemeParams{TL: params.TL},
+	}
+}
+
+// toResult maps a workload.Report back to the historical Result type.
+func toResult(rep workload.Report, scheme string, P int) Result {
+	return Result{
+		Scheme:         scheme,
+		P:              P,
+		ThroughputMops: rep.ThroughputMops,
+		Latency:        rep.Latency,
+		MakespanMs:     rep.MakespanMs,
+		Ops:            rep.Ops,
+		WarmupOps:      rep.WarmupOps,
+		RemoteOps:      rep.RemoteOps,
+		DirectEntries:  rep.DirectEntries,
+	}
+}
 
 // RunMutex executes one mutex benchmark: every process performs warmup
 // cycles, synchronizes on a barrier, then runs Iters measured
@@ -17,126 +70,50 @@ import (
 // with an empty CS).
 func RunMutex(params MutexParams) (Result, error) {
 	params.fill()
-	m := machineFor(params.P, params.ProcsPerNode, params.Seed)
-	mu, err := newMutex(m, params)
-	if err != nil {
+	if err := validMutexScheme(params.Scheme); err != nil {
 		return Result{}, err
 	}
-	dataOff := m.Alloc(1)
-
-	warmup := params.Iters/10 + 1 // the paper discards 10% as warmup
-	lat := make([][]float64, m.Procs())
-	ends := make([]int64, m.Procs())
-	var start int64
-
-	runErr := m.Run(func(p *rma.Proc) {
-		mine := make([]float64, 0, params.Iters)
-		for i := 0; i < warmup; i++ {
-			mu.Acquire(p)
-			csWork(p, params.Workload, dataOff, true)
-			mu.Release(p)
-			afterWork(p, params.Workload)
-		}
-		p.Barrier() // clocks align here
-		if p.Rank() == 0 {
-			start = p.Now()
-		}
-		for i := 0; i < params.Iters; i++ {
-			t0 := p.Now()
-			mu.Acquire(p)
-			csWork(p, params.Workload, dataOff, true)
-			mu.Release(p)
-			mine = append(mine, float64(p.Now()-t0)/1e3) // µs
-			afterWork(p, params.Workload)
-		}
-		ends[p.Rank()] = p.Now()
-		lat[p.Rank()] = mine
-	})
-	if runErr != nil {
-		return Result{}, fmt.Errorf("bench: %s P=%d: %w", params.Scheme, params.P, runErr)
+	rep, err := workload.Run(mutexSpec(params))
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: %s P=%d: %w", params.Scheme, params.P, err)
 	}
-	res := summarize(params.Scheme, params.P, m, start, ends, lat)
-	res.WarmupOps = int64(warmup * m.Procs())
-	if l, ok := mu.(*rmamcs.Lock); ok {
-		res.DirectEntries = l.DirectEntries
+	return toResult(rep, params.Scheme, params.P), nil
+}
+
+// validMutexScheme rejects RW and unknown scheme names with the
+// historical error message.
+func validMutexScheme(scheme string) error {
+	for _, s := range MutexSchemes {
+		if s == scheme {
+			return nil
+		}
 	}
-	return res, nil
+	return fmt.Errorf("bench: unknown mutex scheme %q", scheme)
 }
 
 // RunRW executes one reader/writer benchmark. Each iteration is a write
 // with probability FW, a read otherwise (deterministic per-process RNG).
 func RunRW(params RWParams) (Result, error) {
 	params.fill()
-	m := machineFor(params.P, params.ProcsPerNode, params.Seed)
-	rw, err := newRW(m, params)
-	if err != nil {
-		return Result{}, err
+	if params.Scheme != SchemeFoMPIRW && params.Scheme != SchemeRMARW {
+		return Result{}, fmt.Errorf("bench: unknown RW scheme %q", params.Scheme)
 	}
-	dataOff := m.Alloc(1)
-
-	warmup := params.Iters/10 + 1
-	lat := make([][]float64, m.Procs())
-	ends := make([]int64, m.Procs())
-	var start int64
-
-	runErr := m.Run(func(p *rma.Proc) {
-		mine := make([]float64, 0, params.Iters)
-		cycle := func(measured bool) {
-			write := p.Rand().Float64() < params.FW
-			t0 := p.Now()
-			if write {
-				rw.AcquireWrite(p)
-				csWork(p, params.Workload, dataOff, true)
-				rw.ReleaseWrite(p)
-			} else {
-				rw.AcquireRead(p)
-				csWork(p, params.Workload, dataOff, false)
-				rw.ReleaseRead(p)
-			}
-			if measured {
-				mine = append(mine, float64(p.Now()-t0)/1e3)
-			}
-			afterWork(p, params.Workload)
-		}
-		for i := 0; i < warmup; i++ {
-			cycle(false)
-		}
-		p.Barrier()
-		if p.Rank() == 0 {
-			start = p.Now()
-		}
-		for i := 0; i < params.Iters; i++ {
-			cycle(true)
-		}
-		ends[p.Rank()] = p.Now()
-		lat[p.Rank()] = mine
+	wl, prof := wlFor(params.Workload, params.FW)
+	rep, err := workload.Run(workload.Spec{
+		Scheme:       params.Scheme,
+		P:            params.P,
+		ProcsPerNode: params.ProcsPerNode,
+		Seed:         params.Seed,
+		TimeLimit:    timeLimit,
+		Iters:        params.Iters,
+		Profile:      prof,
+		Workload:     wl,
+		Params:       workload.SchemeParams{TL: params.TL, TDC: params.TDC, TR: params.TR},
 	})
-	if runErr != nil {
-		return Result{}, fmt.Errorf("bench: %s P=%d FW=%g: %w", params.Scheme, params.P, params.FW, runErr)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: %s P=%d FW=%g: %w", params.Scheme, params.P, params.FW, err)
 	}
-	return summarize(params.Scheme, params.P, m, start, ends, lat), nil
-}
-
-func summarize(scheme string, P int, m *rma.Machine, start int64, ends []int64, lat [][]float64) Result {
-	var end int64
-	var ops int64
-	all := make([]float64, 0, 1024)
-	for r := range ends {
-		if ends[r] > end {
-			end = ends[r]
-		}
-		ops += int64(len(lat[r]))
-		all = append(all, lat[r]...)
-	}
-	return Result{
-		Scheme:         scheme,
-		P:              P,
-		ThroughputMops: throughputMops(ops, end-start),
-		Latency:        stats.Summarize(all),
-		MakespanMs:     float64(end-start) / 1e6,
-		Ops:            ops,
-		RemoteOps:      m.Stats().Remote(),
-	}
+	return toResult(rep, params.Scheme, params.P), nil
 }
 
 // DHTParams configures one distributed-hashtable benchmark run (§5.3):
@@ -186,86 +163,38 @@ func RunDHT(params DHTParams) (DHTResult, error) {
 	if params.Cells == 0 {
 		params.Cells = params.P*params.OpsPerProc + 16
 	}
-	m := machineFor(params.P, params.ProcsPerNode, params.Seed)
-	table := dht.New(m, params.Slots, params.Cells)
-
-	var rw interface {
-		AcquireRead(*rma.Proc)
-		ReleaseRead(*rma.Proc)
-		AcquireWrite(*rma.Proc)
-		ReleaseWrite(*rma.Proc)
-	}
 	switch params.Scheme {
-	case SchemeFoMPIA:
-		rw = nil // raw atomics
-	case SchemeFoMPIRW, SchemeRMARW:
-		p := RWParams{Scheme: params.Scheme, TDC: params.TDC, TR: params.TR, TL: params.TL, ProcsPerNode: params.ProcsPerNode}
-		p.fill()
-		l, err := newRW(m, p)
-		if err != nil {
-			return DHTResult{}, err
-		}
-		rw = l
+	case SchemeFoMPIA, SchemeFoMPIRW, SchemeRMARW:
 	default:
 		return DHTResult{}, fmt.Errorf("bench: unknown DHT scheme %q", params.Scheme)
 	}
-
-	const vol = 0                 // the selected process hosting the volume
-	const keyspace = int64(1) << 30 // random keys, mostly unique inserts
-	var (
-		start   int64
-		end     int64
-		inserts int64
-		lookups int64
-	)
-	ends := make([]int64, m.Procs())
-	runErr := m.Run(func(p *rma.Proc) {
-		p.Barrier()
-		if p.Rank() == 0 {
-			start = p.Now()
-			return // rank 0 only hosts the volume (the paper: P−1 clients)
-		}
-		for i := 0; i < params.OpsPerProc; i++ {
-			key := int64(p.Rand().Int63n(keyspace))
-			if p.Rand().Float64() < params.FW {
-				inserts++
-				switch {
-				case rw == nil:
-					table.AtomicInsert(p, vol, key)
-				default:
-					rw.AcquireWrite(p)
-					table.PlainInsert(p, vol, key)
-					rw.ReleaseWrite(p)
-				}
-			} else {
-				lookups++
-				switch {
-				case rw == nil:
-					table.AtomicLookup(p, vol, key)
-				default:
-					rw.AcquireRead(p)
-					table.PlainLookup(p, vol, key)
-					rw.ReleaseRead(p)
-				}
-			}
-		}
-		ends[p.Rank()] = p.Now()
+	atomic := params.Scheme == SchemeFoMPIA
+	wl := &workload.DHTOps{Slots: params.Slots, Cells: params.Cells, Vol: 0, Atomic: atomic}
+	rep, err := workload.Run(workload.Spec{
+		Scheme:       params.Scheme,
+		NoLock:       atomic, // raw atomics
+		P:            params.P,
+		ProcsPerNode: params.ProcsPerNode,
+		Seed:         params.Seed,
+		TimeLimit:    timeLimit,
+		Iters:        params.OpsPerProc,
+		Warmup:       -1, // the paper's DHT benchmark has no warm-up phase
+		Profile:      workload.Uniform{FW: params.FW},
+		Workload:     wl,
+		Params:       workload.SchemeParams{TL: params.TL, TDC: params.TDC, TR: params.TR},
+		// Rank 0 only hosts the volume (the paper: P−1 clients).
+		Skip: func(rank, procs int) bool { return rank == 0 },
 	})
-	if runErr != nil {
-		return DHTResult{}, fmt.Errorf("bench: DHT %s P=%d FW=%g: %w", params.Scheme, params.P, params.FW, runErr)
-	}
-	for _, e := range ends {
-		if e > end {
-			end = e
-		}
+	if err != nil {
+		return DHTResult{}, fmt.Errorf("bench: DHT %s P=%d FW=%g: %w", params.Scheme, params.P, params.FW, err)
 	}
 	return DHTResult{
 		Scheme:      params.Scheme,
 		P:           params.P,
 		FW:          params.FW,
-		TotalTimeMs: float64(end-start) / 1e6,
-		Inserts:     inserts,
-		Lookups:     lookups,
-		Stored:      table.Count(m, vol),
+		TotalTimeMs: rep.MakespanMs,
+		Inserts:     rep.Writes,
+		Lookups:     rep.Reads,
+		Stored:      int(rep.Extra["stored"]),
 	}, nil
 }

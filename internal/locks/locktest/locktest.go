@@ -104,11 +104,29 @@ func WriterPattern(r, it int, fwNum, fwDen int) bool {
 	return k < fwNum
 }
 
+// Pattern decides how iteration it of process p behaves: whether it
+// enters exclusively (write) and how long it thinks after release.
+// Implementations must draw randomness only from p.Rand() so stress runs
+// stay deterministic; contention generators from internal/workload plug
+// in here via a small closure.
+type Pattern func(p *rma.Proc, it int) (write bool, think int64)
+
 // StressRW runs a mixed reader/writer workload (writer fraction
 // fwNum/fwDen) and checks reader-writer exclusion, writer-writer
 // exclusion, and a writer-protected counter. It also reports whether any
 // two readers ever overlapped in the CS (reader parallelism).
 func StressRW(t *testing.T, topo *topology.Topology, mk RWFactory, fwNum, fwDen int, opt Options) {
+	t.Helper()
+	StressRWPattern(t, topo, mk, func(p *rma.Proc, it int) (bool, int64) {
+		return WriterPattern(p.Rank(), it, fwNum, fwDen), 0
+	}, opt)
+}
+
+// StressRWPattern runs a mixed workload whose per-iteration behaviour is
+// decided by pat and checks the same invariants as StressRW: mutual
+// writer exclusion, reader-writer exclusion, and a writer-protected
+// counter; progress is enforced by the virtual-time limit.
+func StressRWPattern(t *testing.T, topo *topology.Topology, mk RWFactory, pat Pattern, opt Options) {
 	t.Helper()
 	opt.fill()
 	m := rma.NewMachineConfig(topo, rma.Config{Seed: opt.Seed, TimeLimit: opt.TimeLimit})
@@ -121,9 +139,11 @@ func StressRW(t *testing.T, topo *topology.Topology, mk RWFactory, fwNum, fwDen 
 		counter       int64
 		writerEntries int64
 	)
+	var readerEntries int64
 	err := m.Run(func(p *rma.Proc) {
 		for it := 0; it < opt.Iters; it++ {
-			if WriterPattern(p.Rank(), it, fwNum, fwDen) {
+			write, think := pat(p, it)
+			if write {
 				rw.AcquireWrite(p)
 				writersIn++
 				if writersIn != 1 || readersIn != 0 {
@@ -138,6 +158,7 @@ func StressRW(t *testing.T, topo *topology.Topology, mk RWFactory, fwNum, fwDen 
 			} else {
 				rw.AcquireRead(p)
 				readersIn++
+				readerEntries++
 				if readersIn > maxReadersIn {
 					maxReadersIn = readersIn
 				}
@@ -153,6 +174,9 @@ func StressRW(t *testing.T, topo *topology.Topology, mk RWFactory, fwNum, fwDen 
 				rw.ReleaseRead(p)
 			}
 			p.Compute(int64(p.Rand().Intn(200)) + 1)
+			if think > 0 {
+				p.Compute(think)
+			}
 		}
 	})
 	if err != nil {
@@ -164,11 +188,7 @@ func StressRW(t *testing.T, topo *topology.Topology, mk RWFactory, fwNum, fwDen 
 	if counter != writerEntries {
 		t.Errorf("writer counter=%d want %d", counter, writerEntries)
 	}
-	total := int64(topo.Procs() * opt.Iters)
-	if writerEntries > total {
-		t.Errorf("writerEntries=%d exceeds total=%d", writerEntries, total)
-	}
-	if fwNum < fwDen && topo.Procs() >= 4 && maxReadersIn < 2 {
+	if readerEntries > 0 && topo.Procs() >= 4 && maxReadersIn < 2 {
 		t.Logf("note: readers never overlapped (maxReadersIn=%d); workload may be too small", maxReadersIn)
 	}
 }

@@ -78,12 +78,12 @@ type Model interface {
 
 // Result summarizes an exhaustive check.
 type Result struct {
-	Model      string
-	States     int   // distinct states explored
+	Model       string
+	States      int   // distinct states explored
 	Transitions int64 // transitions taken
-	Violation  error // first safety violation found, if any
-	Deadlock   bool  // a reachable state where nobody can move and not all are done
-	Truncated  bool  // state limit hit before exhaustion
+	Violation   error // first safety violation found, if any
+	Deadlock    bool  // a reachable state where nobody can move and not all are done
+	Truncated   bool  // state limit hit before exhaustion
 	// AcceptedStuck counts terminal states waved through by a model's
 	// AcceptStuck (documented liveness corners, not deadlocks).
 	AcceptedStuck int

@@ -15,15 +15,15 @@ type DMCS struct {
 
 // Program counters.
 const (
-	dPrep    = iota // write own NEXT=∅, WAIT=1 (local prep)
-	dSwap           // FAO TAIL -> pred
-	dLink           // no pred: skip; pred: NEXT_pred = p
-	dSpin           // spin on WAIT_p == 0
-	dCS             // in the critical section
-	dReadNext       // succ = NEXT_p
-	dCASTail        // no succ: CAS(TAIL, p -> ∅)
-	dWaitSucc       // spin on NEXT_p != ∅
-	dNotify         // WAIT_succ = 0
+	dPrep     = iota // write own NEXT=∅, WAIT=1 (local prep)
+	dSwap            // FAO TAIL -> pred
+	dLink            // no pred: skip; pred: NEXT_pred = p
+	dSpin            // spin on WAIT_p == 0
+	dCS              // in the critical section
+	dReadNext        // succ = NEXT_p
+	dCASTail         // no succ: CAS(TAIL, p -> ∅)
+	dWaitSucc        // spin on NEXT_p != ∅
+	dNotify          // WAIT_succ = 0
 	dDone
 )
 
@@ -39,8 +39,8 @@ func (m DMCS) Init() *State {
 	}
 	st.Mem[0] = -1 // TAIL = ∅
 	for p := 0; p < m.Procs; p++ {
-		st.Mem[1+2*p] = -1 // NEXT
-		st.Mem[2+2*p] = 0  // WAIT
+		st.Mem[1+2*p] = -1             // NEXT
+		st.Mem[2+2*p] = 0              // WAIT
 		st.Loc[p] = []int64{-1, -1, 0} // pred, succ, iter
 	}
 	return st

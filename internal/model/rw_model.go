@@ -74,11 +74,11 @@ const (
 	wSetStart
 	wCS
 	wRel
-	wResetLock  // CAS the reset latch
-	wResetRead  // snapshot ARRIVE/DEPART
-	wResetArr   // subtract from ARRIVE
-	wResetDep   // subtract from DEPART
-	wResetRel   // release the latch, resume continuation
+	wResetLock // CAS the reset latch
+	wResetRead // snapshot ARRIVE/DEPART
+	wResetArr  // subtract from ARRIVE
+	wResetDep  // subtract from DEPART
+	wResetRel  // release the latch, resume continuation
 	wReadSucc
 	wCASTail
 	wWaitSucc

@@ -57,12 +57,12 @@ type Machine struct {
 	busy     []int64 // per-rank target busy-until (virtual ns)
 	watchers map[int][]watcher
 	inits    []func(m *Machine)
-	seed   int64
-	limit  int64 // virtual time limit (0 = none)
-	bcost  int64 // barrier cost
-	ran    bool
-	stats  Stats
-	maxClk int64
+	seed     int64
+	limit    int64 // virtual time limit (0 = none)
+	bcost    int64 // barrier cost
+	ran      bool
+	stats    Stats
+	maxClk   int64
 }
 
 // Config carries optional Machine parameters.

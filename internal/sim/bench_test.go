@@ -1,0 +1,85 @@
+package sim
+
+// Benchmarks for the scheduler hot path: every simulated operation goes
+// through one push + popMin pair on the (clock, id) min-heap, and every
+// yield through the channel handoff in Advance. These pin a baseline for
+// future scheduler optimisations (run with `make bench`, compare with
+// benchstat).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// newBenchScheduler returns a scheduler with n procs pre-pushed at
+// pseudo-random clocks (steady-state heap shape).
+func newBenchScheduler(n int) *Scheduler {
+	s := New(Config{Procs: n})
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range s.procs {
+		p.clock = rng.Int63n(1 << 20)
+		s.push(p)
+	}
+	return s
+}
+
+// BenchmarkProcHeapPushPop measures one scheduling decision: pop the
+// minimum proc, charge it time, push it back.
+func BenchmarkProcHeapPushPop(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			s := newBenchScheduler(n)
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := s.popMin()
+				p.clock += rng.Int63n(1000) + 1
+				s.push(p)
+			}
+		})
+	}
+}
+
+// BenchmarkProcHeapDrainRefill measures full heap churn: drain all procs
+// then refill, the pattern of a barrier release.
+func BenchmarkProcHeapDrainRefill(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			s := newBenchScheduler(n)
+			drained := make([]*proc, 0, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drained = drained[:0]
+				for len(s.heap) > 0 {
+					drained = append(drained, s.popMin())
+				}
+				for _, p := range drained {
+					s.push(p)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerRun measures a whole simulation: procs × advances
+// virtual operations including goroutine handoff, the end-to-end cost a
+// workload harness run pays per simulated op.
+func BenchmarkSchedulerRun(b *testing.B) {
+	const procs, advances = 16, 200
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{Procs: procs})
+		err := s.Run(func(h *Handle) {
+			for k := 0; k < advances; k++ {
+				h.Advance(int64(k%7) + 1)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(procs*advances), "ops/run")
+}

@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"fmt"
+
+	"rmalocks/internal/locks"
+	"rmalocks/internal/locks/dmcs"
+	"rmalocks/internal/locks/fompi"
+	"rmalocks/internal/locks/rmamcs"
+	"rmalocks/internal/locks/rmarw"
+	"rmalocks/internal/rma"
+	"rmalocks/internal/topology"
+)
+
+// Lock scheme names understood by the harness. The values match the
+// presentation names used by internal/bench and the paper's evaluation.
+const (
+	SchemeFoMPISpin = "foMPI-Spin"
+	SchemeDMCS      = "D-MCS"
+	SchemeRMAMCS    = "RMA-MCS"
+	SchemeFoMPIRW   = "foMPI-RW"
+	SchemeRMARW     = "RMA-RW"
+)
+
+// Schemes lists every lock scheme the harness can run: the three mutexes
+// (run through locks.WriterOnly) followed by the two RW locks.
+var Schemes = []string{SchemeFoMPISpin, SchemeDMCS, SchemeRMAMCS, SchemeFoMPIRW, SchemeRMARW}
+
+// SchemeParams carries the per-scheme tuning knobs of the paper's
+// parameter space; zero fields select the defaults of internal/bench.
+type SchemeParams struct {
+	// TL holds the locality thresholds T_L,i (RMA-MCS and RMA-RW).
+	TL []int64
+	// TDC is the distributed-counter threshold T_DC (RMA-RW); default
+	// one counter per compute node.
+	TDC int
+	// TR is the reader threshold T_R (RMA-RW); default 1000.
+	TR int64
+}
+
+// NewLockSet builds n instances of the named scheme on m, wrapping the
+// plain mutex schemes in locks.WriterOnly so every scheme presents the
+// RWMutex interface. Call before m.Run.
+func NewLockSet(m *rma.Machine, scheme string, n int, ps SchemeParams) ([]locks.RWMutex, error) {
+	if n < 1 {
+		n = 1
+	}
+	tdc := ps.TDC
+	if tdc == 0 {
+		tdc = m.Topology().ProcsPerLeaf()
+	}
+	tr := ps.TR
+	if tr == 0 {
+		tr = 1000
+	}
+	tl := ps.TL
+	set := make([]locks.RWMutex, n)
+	for i := range set {
+		switch scheme {
+		case SchemeFoMPISpin:
+			set[i] = locks.WriterOnly{Mu: fompi.NewSpin(m)}
+		case SchemeDMCS:
+			set[i] = locks.WriterOnly{Mu: dmcs.New(m)}
+		case SchemeRMAMCS:
+			set[i] = locks.WriterOnly{Mu: rmamcs.NewConfig(m, rmamcs.Config{TL: tl})}
+		case SchemeFoMPIRW:
+			set[i] = fompi.NewRW(m)
+		case SchemeRMARW:
+			rwTL := tl
+			if rwTL == nil {
+				rwTL = []int64{0, 40, 25} // T_W = 1000 (the paper's Fig. 4c middle)
+			}
+			set[i] = rmarw.NewConfig(m, rmarw.Config{TDC: tdc, TR: tr, TL: rwTL})
+		default:
+			return nil, errUnknown("scheme", scheme, Schemes)
+		}
+	}
+	return set, nil
+}
+
+// Spec configures one harness run: a lock scheme (or custom factory), a
+// contention profile, a critical-section workload, and the machine
+// dimensions. Zero fields select the defaults of the paper's evaluation
+// setup.
+type Spec struct {
+	// Scheme selects the lock scheme (one of Schemes). Ignored when
+	// NoLock or Make is set.
+	Scheme string
+	// Make optionally overrides the lock factory; it must build n
+	// RWMutex instances on m before the run starts.
+	Make func(m *rma.Machine, n int) ([]locks.RWMutex, error)
+	// NoLock runs the workload bodies without any lock (the paper's
+	// foMPI-A lock-free baseline; only sound for workloads that are
+	// themselves concurrency-safe, such as DHTOps with Atomic).
+	NoLock bool
+
+	// P is the process count (default 64).
+	P int
+	// ProcsPerNode is the machine shape (default 16, the paper's).
+	ProcsPerNode int
+	// Seed seeds the per-process RNG streams (default 1).
+	Seed int64
+	// TimeLimit bounds one run in virtual ns (default ~73 virtual
+	// minutes), converting protocol livelock into an error.
+	TimeLimit int64
+	// Latency optionally overrides the machine's latency model
+	// (ablation studies).
+	Latency func(maxDist int) rma.LatencyModel
+
+	// Iters is the number of measured cycles per participating process
+	// (default 50).
+	Iters int
+	// Warmup is the number of discarded cycles before the measured
+	// phase; 0 selects the paper's 10% (Iters/10+1), negative disables
+	// warm-up entirely.
+	Warmup int
+	// Profile is the contention generator (default Uniform{FW: 1}: an
+	// all-write single-lock workload).
+	Profile Profile
+	// Workload is the critical-section body (default Empty).
+	Workload Workload
+	// Params tunes the scheme.
+	Params SchemeParams
+	// Skip marks ranks that sit out the benchmark loop (they still
+	// participate in the start barrier and then exit, like the paper's
+	// DHT volume host).
+	Skip func(rank, procs int) bool
+}
+
+func (s *Spec) fill() {
+	if s.P == 0 {
+		s.P = 64
+	}
+	if s.ProcsPerNode == 0 {
+		s.ProcsPerNode = 16
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.TimeLimit == 0 {
+		s.TimeLimit = 1 << 42
+	}
+	if s.Iters == 0 {
+		s.Iters = 50
+	}
+	if s.Warmup == 0 {
+		s.Warmup = s.Iters/10 + 1
+	}
+	if s.Warmup < 0 {
+		s.Warmup = 0
+	}
+	if s.Profile == nil {
+		s.Profile = Uniform{FW: 1}
+	}
+	if s.Workload == nil {
+		s.Workload = Empty{}
+	}
+}
+
+// Run executes one workload benchmark: build the machine and lock set,
+// run Warmup discarded cycles per process, synchronize on a barrier,
+// run Iters measured cycles, and summarize. The per-cycle latency spans
+// acquire through release (the paper's LB measures exactly this with an
+// empty CS); think time is charged after the measurement point.
+func Run(spec Spec) (Report, error) {
+	spec.fill()
+	topo := topology.ForProcs(spec.P, spec.ProcsPerNode)
+	cfg := rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit}
+	if spec.Latency != nil {
+		lat := spec.Latency(topo.MaxDistance())
+		cfg.Latency = &lat
+	}
+	m := rma.NewMachineConfig(topo, cfg)
+
+	var set []locks.RWMutex
+	var err error
+	switch {
+	case spec.NoLock:
+	case spec.Make != nil:
+		set, err = spec.Make(m, spec.Profile.Locks())
+	default:
+		set, err = NewLockSet(m, spec.Scheme, spec.Profile.Locks(), spec.Params)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	spec.Workload.Setup(m)
+
+	procs := m.Procs()
+	rlat := make([][]float64, procs)
+	wlat := make([][]float64, procs)
+	ends := make([]int64, procs)
+	var start int64
+
+	runErr := m.Run(func(p *rma.Proc) {
+		r := p.Rank()
+		if spec.Skip != nil && spec.Skip(r, procs) {
+			p.Barrier()
+			if r == 0 {
+				start = p.Now()
+			}
+			return
+		}
+		var rl, wl []float64
+		step := func(it int, measured bool) {
+			in := spec.Profile.Next(p, it)
+			t0 := p.Now()
+			switch {
+			case spec.NoLock:
+				spec.Workload.Body(p, in)
+			case in.Write:
+				lk := set[in.Lock]
+				lk.AcquireWrite(p)
+				spec.Workload.Body(p, in)
+				lk.ReleaseWrite(p)
+			default:
+				lk := set[in.Lock]
+				lk.AcquireRead(p)
+				spec.Workload.Body(p, in)
+				lk.ReleaseRead(p)
+			}
+			if measured {
+				d := float64(p.Now()-t0) / 1e3 // µs
+				if in.Write {
+					wl = append(wl, d)
+				} else {
+					rl = append(rl, d)
+				}
+			}
+			if in.Think > 0 {
+				p.Compute(in.Think)
+			}
+		}
+		for i := 0; i < spec.Warmup; i++ {
+			step(i, false)
+		}
+		p.Barrier() // clocks align here
+		if r == 0 {
+			start = p.Now()
+		}
+		for i := 0; i < spec.Iters; i++ {
+			step(i, true)
+		}
+		ends[r] = p.Now()
+		rlat[r], wlat[r] = rl, wl
+	})
+	if runErr != nil {
+		return Report{}, fmt.Errorf("workload: %s/%s/%s P=%d: %w",
+			specScheme(spec), spec.Workload.Name(), spec.Profile.Name(), spec.P, runErr)
+	}
+
+	rep := summarize(spec, m, start, ends, rlat, wlat)
+	rep.DirectEntries = directEntries(set)
+	spec.Workload.Extract(m, &rep)
+	return rep, nil
+}
+
+func specScheme(spec Spec) string {
+	switch {
+	case spec.NoLock:
+		return "nolock"
+	case spec.Make != nil && spec.Scheme == "":
+		return "custom"
+	default:
+		return spec.Scheme
+	}
+}
+
+// directEntries sums the intra-element shortcut count over every RMA-MCS
+// lock in the set (0 for other schemes), unwrapping WriterOnly.
+func directEntries(set []locks.RWMutex) int64 {
+	var n int64
+	for _, l := range set {
+		if w, ok := l.(locks.WriterOnly); ok {
+			if rl, ok := w.Mu.(*rmamcs.Lock); ok {
+				n += rl.DirectEntries
+			}
+		}
+	}
+	return n
+}
+
+func errUnknown(kind, name string, have []string) error {
+	return fmt.Errorf("workload: unknown %s %q (have %v)", kind, name, have)
+}

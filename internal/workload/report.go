@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"rmalocks/internal/rma"
+	"rmalocks/internal/stats"
+)
+
+// Report is the unified outcome of one harness run.
+type Report struct {
+	// Scheme, Workload and Profile identify the grid cell.
+	Scheme   string
+	Workload string
+	Profile  string
+	// P is the process count of the machine.
+	P int
+
+	// Ops is the number of measured cycles (Reads + Writes); WarmupOps
+	// counts the discarded warm-up cycles.
+	Ops       int64
+	Reads     int64
+	Writes    int64
+	WarmupOps int64
+
+	// ThroughputMops is aggregate measured acquisitions per second, in
+	// millions (the paper's "mln locks/s").
+	ThroughputMops float64
+	// Latency summarizes per-cycle acquire→release virtual latency in
+	// µs over all measured cycles; ReadLatency / WriteLatency split it
+	// by entry mode.
+	Latency      stats.Summary
+	ReadLatency  stats.Summary
+	WriteLatency stats.Summary
+
+	// MakespanMs is the measured phase's virtual duration.
+	MakespanMs float64
+	// MaxClock is the total virtual makespan of the run in ns,
+	// including warm-up (Machine.MaxClock).
+	MaxClock int64
+	// RemoteOps counts RMA operations that left their rank.
+	RemoteOps int64
+	// DirectEntries counts RMA-MCS acquisitions that short-cut into the
+	// CS through an intra-element pass (0 for other schemes), including
+	// warm-up cycles.
+	DirectEntries int64
+
+	// Extra holds workload-specific results (e.g. "stored" for DHTOps).
+	Extra map[string]float64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s/%s/%s P=%d: %.3f mln locks/s, mean latency %.2f µs, makespan %.2f ms",
+		r.Scheme, r.Workload, r.Profile, r.P, r.ThroughputMops, r.Latency.Mean, r.MakespanMs)
+}
+
+// Fingerprint returns a canonical textual encoding of every field. Two
+// runs of the same Spec must produce byte-identical fingerprints; the
+// determinism regression tests rely on this.
+func (r Report) Fingerprint() string {
+	keys := make([]string, 0, len(r.Extra))
+	for k := range r.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	extra := ""
+	for _, k := range keys {
+		extra += fmt.Sprintf("%s=%v;", k, r.Extra[k])
+	}
+	return fmt.Sprintf("%s/%s/%s P=%d ops=%d r=%d w=%d warm=%d thr=%v lat=%+v rlat=%+v wlat=%+v mk=%v clk=%d rem=%d de=%d extra=%s",
+		r.Scheme, r.Workload, r.Profile, r.P, r.Ops, r.Reads, r.Writes, r.WarmupOps,
+		r.ThroughputMops, r.Latency, r.ReadLatency, r.WriteLatency,
+		r.MakespanMs, r.MaxClock, r.RemoteOps, r.DirectEntries, extra)
+}
+
+// summarize assembles a Report from the raw per-rank samples.
+func summarize(spec Spec, m *rma.Machine, start int64, ends []int64, rlat, wlat [][]float64) Report {
+	var end int64
+	var reads, writes int64
+	all := make([]float64, 0, 1024)
+	rs := make([]float64, 0, 1024)
+	ws := make([]float64, 0, 1024)
+	participants := 0
+	for r := range ends {
+		if spec.Skip != nil && spec.Skip(r, len(ends)) {
+			continue
+		}
+		participants++
+		if ends[r] > end {
+			end = ends[r]
+		}
+		reads += int64(len(rlat[r]))
+		writes += int64(len(wlat[r]))
+		rs = append(rs, rlat[r]...)
+		ws = append(ws, wlat[r]...)
+		all = append(all, rlat[r]...)
+		all = append(all, wlat[r]...)
+	}
+	ops := reads + writes
+	return Report{
+		Scheme:         specScheme(spec),
+		Workload:       spec.Workload.Name(),
+		Profile:        spec.Profile.Name(),
+		P:              spec.P,
+		Ops:            ops,
+		Reads:          reads,
+		Writes:         writes,
+		WarmupOps:      int64(spec.Warmup * participants),
+		ThroughputMops: throughputMops(ops, end-start),
+		Latency:        stats.Summarize(all),
+		ReadLatency:    stats.Summarize(rs),
+		WriteLatency:   stats.Summarize(ws),
+		MakespanMs:     float64(end-start) / 1e6,
+		MaxClock:       m.MaxClock(),
+		RemoteOps:      m.Stats().Remote(),
+		Extra:          map[string]float64{},
+	}
+}
+
+// throughputMops converts (ops, makespan ns) to million ops per second.
+func throughputMops(ops int64, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(ops) / float64(ns) * 1e3
+}

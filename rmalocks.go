@@ -29,6 +29,7 @@ import (
 	"rmalocks/internal/locks/rmarw"
 	"rmalocks/internal/rma"
 	"rmalocks/internal/topology"
+	"rmalocks/internal/workload"
 )
 
 // Proc is the per-process handle passed to the body of Machine.Run; it
@@ -132,4 +133,55 @@ type RWParams struct {
 // lock (§3) on m. Call before m.Run.
 func NewRMARW(m *Machine, p RWParams) *rmarw.Lock {
 	return rmarw.NewConfig(m, rmarw.Config{TDC: p.TDC, TR: p.TR, TL: p.TL})
+}
+
+// Workload subsystem (see DESIGN.md, "The workload subsystem"): a
+// pluggable benchmark layer that runs any lock scheme against any
+// critical-section workload under any contention profile, with
+// deterministic, seed-reproducible results.
+type (
+	// Workload supplies the critical-section body of a benchmark
+	// iteration (setup, per-iteration body, result extraction).
+	Workload = workload.Workload
+	// Profile is a contention generator deciding per-iteration intent.
+	Profile = workload.Profile
+	// Intent is one iteration's decision: lock index, read/write mode,
+	// post-release think time.
+	Intent = workload.Intent
+	// WorkloadSpec configures one harness run (scheme × workload ×
+	// profile on a machine).
+	WorkloadSpec = workload.Spec
+	// WorkloadReport is the unified throughput/latency outcome.
+	WorkloadReport = workload.Report
+
+	// UniformProfile picks locks uniformly with a fixed writer fraction.
+	UniformProfile = workload.Uniform
+	// BurstyProfile alternates burst and idle phases.
+	BurstyProfile = workload.Bursty
+	// RWSweepProfile sweeps the writer fraction over time.
+	RWSweepProfile = workload.RWSweep
+
+	// EmptyWorkload is the empty critical section (lock cost only).
+	EmptyWorkload = workload.Empty
+	// SharedOpWorkload performs one remote access per CS.
+	SharedOpWorkload = workload.SharedOp
+	// CounterComputeWorkload increments a shared counter plus local work.
+	CounterComputeWorkload = workload.CounterCompute
+	// DHTWorkload runs hashtable operations inside the CS.
+	DHTWorkload = workload.DHTOps
+)
+
+// WorkloadSchemes lists every lock scheme the workload harness can run.
+var WorkloadSchemes = workload.Schemes
+
+// NewZipfProfile builds a Zipf-skewed contention profile over numLocks
+// locks with skew exponent s (<=0 selects 1.2) and writer fraction fw.
+func NewZipfProfile(numLocks int, s, fw float64) *workload.Zipf {
+	return workload.NewZipf(numLocks, s, fw)
+}
+
+// RunWorkload executes one workload benchmark and returns its report.
+// Results are a deterministic function of (spec, spec.Seed).
+func RunWorkload(spec WorkloadSpec) (WorkloadReport, error) {
+	return workload.Run(spec)
 }

@@ -115,6 +115,30 @@ func TestNewMachineForProcs(t *testing.T) {
 	}
 }
 
+func TestWorkloadFacade(t *testing.T) {
+	run := func() rmalocks.WorkloadReport {
+		rep, err := rmalocks.RunWorkload(rmalocks.WorkloadSpec{
+			Scheme: "RMA-RW", P: 16, ProcsPerNode: 4, Iters: 12, Seed: 9,
+			Profile:  rmalocks.NewZipfProfile(4, 1.2, 0.25),
+			Workload: &rmalocks.SharedOpWorkload{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Ops != 16*12 {
+		t.Errorf("Ops=%d want 192", a.Ops)
+	}
+	if a.Fingerprint() != b.Fingerprint() || a.MaxClock != b.MaxClock {
+		t.Error("facade workload run not reproducible")
+	}
+	if len(rmalocks.WorkloadSchemes) != 5 {
+		t.Errorf("WorkloadSchemes=%v want 5 schemes", rmalocks.WorkloadSchemes)
+	}
+}
+
 func TestMachineSpecDefaults(t *testing.T) {
 	m := rmalocks.NewMachine(rmalocks.MachineSpec{})
 	if m.Procs() != 16 {
