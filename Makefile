@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race bench grid clean
+# Sweep shape shared by `make sweep` (persist baseline) and
+# `make compare` (re-run + per-cell diff against it).
+SWEEP_FLAGS = -profiles uniform,zipf,bursty,sweep -ps 16,32,64
+
+.PHONY: build test race bench grid sweep compare clean
 
 build:
 	$(GO) build ./...
@@ -18,9 +22,22 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | tee results/bench.txt
 
 # One full scheme × workload × profile grid with reproducibility check.
+# Redirect-then-cat instead of `| tee`: a pipe would mask a failing
+# -check behind tee's exit status.
 grid:
 	@mkdir -p results
-	$(GO) run ./cmd/workbench -profiles uniform,zipf,bursty,sweep -check | tee results/grid.txt
+	$(GO) run ./cmd/workbench -profiles uniform,zipf,bursty,sweep -check > results/grid.txt
+	@cat results/grid.txt
+
+# P-sweep across the grid, persisted as the perf baseline JSON.
+sweep:
+	@mkdir -p results
+	$(GO) run ./cmd/workbench $(SWEEP_FLAGS) -out results/sweep.json > results/sweep.txt
+	@cat results/sweep.txt
+
+# Re-run the same grid and diff it per cell against the baseline.
+compare:
+	$(GO) run ./cmd/workbench $(SWEEP_FLAGS) -baseline results/sweep.json
 
 clean:
 	rm -rf results

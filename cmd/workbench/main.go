@@ -1,13 +1,17 @@
-// Command workbench drives the unified workload subsystem: it enumerates
-// a scheme × workload × contention-profile grid, runs every cell through
-// the generic harness, and prints one aligned result table (or CSV).
+// Command workbench drives the unified workload subsystem through the
+// host-parallel sweep engine (internal/sweep): it enumerates a
+// scheme × workload × profile × P grid, executes the cells on a bounded
+// worker pool, and prints one aligned result table (or CSV) merged in
+// canonical cell order — byte-identical for any -j.
 //
 // Usage:
 //
 //	workbench                               # all 5 schemes × empty CS × uniform,zipf,bursty
-//	workbench -profiles uniform,zipf,bursty,sweep -workloads empty,sharedop
+//	workbench -profiles all -ps 16,32,64,128,256,512   # the paper's P sweep
 //	workbench -schemes RMA-RW,foMPI-RW -workloads dht -fw 0.2 -locks 8
-//	workbench -p 128 -iters 100 -seed 3 -check -csv
+//	workbench -p 128 -iters 100 -seed 3 -check -csv -j 4
+//	workbench -out results/sweep.json       # persist a baseline
+//	workbench -baseline results/sweep.json  # diff against it (perf gate)
 //
 // Every run is a deterministic function of the seed; -check re-runs each
 // cell and verifies the reports are byte-identical.
@@ -17,10 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
-	"rmalocks/internal/stats"
+	"rmalocks/internal/sweep"
 	"rmalocks/internal/workload"
 )
 
@@ -29,56 +34,43 @@ func main() {
 		schemes   = flag.String("schemes", "all", "comma-separated lock schemes, or 'all' ("+strings.Join(workload.Schemes, ",")+")")
 		workloads = flag.String("workloads", "empty", "comma-separated workloads, or 'all' ("+strings.Join(workload.WorkloadNames, ",")+")")
 		profiles  = flag.String("profiles", "uniform,zipf,bursty", "comma-separated contention profiles, or 'all' ("+strings.Join(workload.ProfileNames, ",")+")")
-		p         = flag.Int("p", 64, "process count")
+		p         = flag.Int("p", 64, "process count (ignored when -ps is set)")
+		psFlag    = flag.String("ps", "", "comma-separated process-count sweep, e.g. 16,32,64,128,256,512")
 		ppn       = flag.Int("ppn", 16, "processes per node")
 		iters     = flag.Int("iters", 50, "measured cycles per process")
 		seed      = flag.Int64("seed", 1, "machine seed (runs are deterministic per seed)")
 		fw        = flag.Float64("fw", 0.1, "writer fraction (the sweep profile sweeps 0→fw, or 0→1 when fw is 0)")
 		nlocks    = flag.Int("locks", 8, "lock-set size for multi-lock profiles (clamped to p for dht)")
 		zipfS     = flag.Float64("zipfs", 1.2, "Zipf skew exponent")
+		jobs      = flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS; 1 = serial)")
 		check     = flag.Bool("check", false, "run every cell twice and verify byte-identical reports")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		out       = flag.String("out", "", "persist the run as JSON (e.g. results/sweep.json)")
+		baseline  = flag.String("baseline", "", "compare against a persisted run and report per-cell deltas")
+		tol       = flag.Float64("tol", 0, "throughput-regression tolerance in percent for -baseline (exit 1 beyond it)")
 	)
 	flag.Parse()
 
-	schemeList := split(*schemes, workload.Schemes)
-	workloadList := split(*workloads, workload.WorkloadNames)
-	profileList := split(*profiles, workload.ProfileNames)
+	grid := sweep.Grid{
+		Schemes:   split(*schemes, workload.Schemes),
+		Workloads: split(*workloads, workload.WorkloadNames),
+		Profiles:  split(*profiles, workload.ProfileNames),
+		Ps:        parsePs(*psFlag, *p),
+		Iters:     *iters, ProcsPerNode: *ppn, Seed: *seed,
+		FW: *fw, Locks: *nlocks, ZipfS: *zipfS,
+	}
+	title := fmt.Sprintf("Workload grid: Ps=%v ppn=%d iters=%d seed=%d fw=%g",
+		grid.Ps, *ppn, *iters, *seed, *fw)
 
-	tb := &stats.Table{
-		Title: fmt.Sprintf("Workload grid: P=%d ppn=%d iters=%d seed=%d fw=%g", *p, *ppn, *iters, *seed, *fw),
-		Columns: []string{"Scheme", "Workload", "Profile", "Locks",
-			"Mops", "MeanLat[us]", "P95Lat[us]", "Makespan[ms]", "Reads", "Writes", "Extra"},
-	}
 	start := time.Now()
-	cells := 0
-	for _, scheme := range schemeList {
-		for _, wname := range workloadList {
-			for _, pname := range profileList {
-				rep, nl, err := runCell(scheme, wname, pname, *p, *ppn, *iters, *seed, *fw, *nlocks, *zipfS)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				if *check {
-					rep2, _, err := runCell(scheme, wname, pname, *p, *ppn, *iters, *seed, *fw, *nlocks, *zipfS)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, err)
-						os.Exit(1)
-					}
-					if rep.Fingerprint() != rep2.Fingerprint() {
-						fmt.Fprintf(os.Stderr, "workbench: %s/%s/%s NOT reproducible with seed %d\n",
-							scheme, wname, pname, *seed)
-						os.Exit(1)
-					}
-				}
-				tb.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(nl),
-					stats.FmtF(rep.ThroughputMops), stats.FmtF(rep.Latency.Mean), stats.FmtF(rep.Latency.P95),
-					stats.FmtF(rep.MakespanMs), fmt.Sprint(rep.Reads), fmt.Sprint(rep.Writes), extraString(rep))
-				cells++
-			}
-		}
+	cells := grid.Cells()
+	results, err := sweep.Run(cells, sweep.Options{Workers: *jobs, Check: *check})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+
+	tb := sweep.Table(title, results)
 	if *csv {
 		fmt.Printf("# %s\n%s", tb.Title, tb.CSV())
 	} else {
@@ -88,50 +80,75 @@ func main() {
 	if *check {
 		status = "all cells reproduced byte-identically"
 	}
-	fmt.Fprintf(os.Stderr, "[%d cells in %v; %s]\n", cells, time.Since(start).Round(time.Millisecond), status)
-}
+	fmt.Fprintf(os.Stderr, "[%d cells in %v; %s]\n", len(results), time.Since(start).Round(time.Millisecond), status)
 
-func runCell(scheme, wname, pname string, p, ppn, iters int, seed int64, fw float64, nlocks int, zipfS float64) (workload.Report, int, error) {
-	wl, err := workload.ByName(wname)
-	if err != nil {
-		return workload.Report{}, 0, err
+	if *out != "" {
+		if err := sweep.Save(*out, sweep.NewRunFile(title, results)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[baseline saved to %s]\n", *out)
 	}
-	// A sharded DHT needs one volume per lock: clamp the set to P.
-	if wname == "dht" && nlocks > p {
-		nlocks = p
-	}
-	prof, err := workload.ProfileByName(pname, workload.ProfileOpts{
-		Locks: nlocks, FW: fw, ZipfS: zipfS, Span: iters,
-	})
-	if err != nil {
-		return workload.Report{}, 0, err
-	}
-	rep, err := workload.Run(workload.Spec{
-		Scheme:       scheme,
-		P:            p,
-		ProcsPerNode: ppn,
-		Seed:         seed,
-		Iters:        iters,
-		Profile:      prof,
-		Workload:     wl,
-	})
-	return rep, prof.Locks(), err
-}
-
-func extraString(rep workload.Report) string {
-	if len(rep.Extra) == 0 {
-		return "-"
-	}
-	parts := make([]string, 0, len(rep.Extra))
-	for _, k := range []string{"stored", "overflows", "counter"} {
-		if v, ok := rep.Extra[k]; ok {
-			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	if *baseline != "" {
+		if err := diffBaseline(*baseline, results, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
-	if len(parts) == 0 {
-		return "-"
+}
+
+// diffBaseline loads a persisted run, prints per-cell deltas, and
+// errors when throughput regressed beyond tolPct on any cell.
+func diffBaseline(path string, results []sweep.CellResult, tolPct float64) error {
+	base, err := sweep.Load(path)
+	if err != nil {
+		return err
 	}
-	return strings.Join(parts, " ")
+	deltas := sweep.Compare(base.Cells, results)
+	fmt.Println(sweep.CompareTable(fmt.Sprintf("Baseline diff vs %s", path), deltas).String())
+	identical := 0
+	for _, d := range deltas {
+		if d.Identical {
+			identical++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[%d/%d cells byte-identical to baseline]\n", identical, len(deltas))
+	if regs := sweep.Regressions(deltas, tolPct); len(regs) > 0 {
+		for _, d := range regs {
+			if !d.InCur {
+				fmt.Fprintf(os.Stderr, "workbench: cell %s missing from current run\n", d.Key)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "workbench: cell %s regressed %.2f%% (%.4f → %.4f mln/s)\n",
+				d.Key, d.MopsPct, d.BaseMops, d.CurMops)
+		}
+		return fmt.Errorf("workbench: %d cell(s) regressed beyond %.2f%%", len(regs), tolPct)
+	}
+	return nil
+}
+
+// parsePs parses the -ps sweep list, falling back to the single -p.
+func parsePs(s string, single int) []int {
+	if s == "" {
+		return []int{single}
+	}
+	var ps []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "workbench: bad -ps entry %q\n", part)
+			os.Exit(2)
+		}
+		ps = append(ps, v)
+	}
+	if len(ps) == 0 {
+		return []int{single}
+	}
+	return ps
 }
 
 func split(s string, all []string) []string {

@@ -5,6 +5,7 @@ import (
 
 	"rmalocks/internal/rma"
 	"rmalocks/internal/stats"
+	"rmalocks/internal/sweep"
 	"rmalocks/internal/workload"
 )
 
@@ -35,21 +36,30 @@ func RunAblation(name string, sc Scale) (*stats.Table, error) {
 
 // AblationLocality sweeps the node-level locality threshold T_L,2 of
 // RMA-MCS at a fixed process count and reports the throughput / tail
-// latency / shortcut-fraction trade-off.
+// latency / shortcut-fraction trade-off. The sweep points are
+// independent cells, executed in parallel on the sweep engine's worker
+// pool and tabled in threshold order.
 func AblationLocality(sc Scale) (*stats.Table, error) {
 	P := sc.Ps[len(sc.Ps)-1]
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: T_L,2 fairness-vs-locality trade, RMA-MCS, ECSB, P=%d", P),
 		Columns: []string{"T_L2", "Throughput[mln/s]", "MeanLat[us]", "P99Lat[us]", "Shortcut[%]"},
 	}
-	for _, tl := range []int64{1, 2, 4, 8, 16, 32, 64, 128} {
-		r, err := RunMutex(MutexParams{
+	tls := []int64{1, 2, 4, 8, 16, 32, 64, 128}
+	res := make([]Result, len(tls))
+	err := sweep.ForEach(len(tls), 0, func(i int) error {
+		var err error
+		res[i], err = RunMutex(MutexParams{
 			Scheme: SchemeRMAMCS, P: P, Workload: ECSB,
-			Iters: sc.Iters, TL: []int64{0, 0, tl},
+			Iters: sc.Iters, TL: []int64{0, 0, tls[i]},
 		})
-		if err != nil {
-			return nil, err
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tl := range tls {
+		r := res[i]
 		t.AddRow(fmt.Sprint(tl), stats.FmtF(r.ThroughputMops),
 			stats.FmtF(r.Latency.Mean), stats.FmtF(r.Latency.P99),
 			stats.FmtF(r.DirectFraction()*100))
@@ -67,16 +77,30 @@ func AblationNetwork(sc Scale) (*stats.Table, error) {
 		Title:   fmt.Sprintf("Ablation: inter-node cost sensitivity, ECSB, P=%d", P),
 		Columns: []string{"NetScale[%]", "Scheme", "Throughput[mln/s]"},
 	}
-	for _, pct := range []int64{50, 100, 200, 400} {
+	pcts := []int64{50, 100, 200, 400}
+	type cell struct {
+		pct    int64
+		scheme string
+	}
+	var cells []cell
+	for _, pct := range pcts {
 		for _, scheme := range MutexSchemes {
-			r, err := runMutexWithLatency(MutexParams{
-				Scheme: scheme, P: P, Workload: ECSB, Iters: sc.Iters,
-			}, scaleRemote(pct))
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprint(pct), scheme, stats.FmtF(r.ThroughputMops))
+			cells = append(cells, cell{pct, scheme})
 		}
+	}
+	res := make([]Result, len(cells))
+	err := sweep.ForEach(len(cells), 0, func(i int) error {
+		var err error
+		res[i], err = runMutexWithLatency(MutexParams{
+			Scheme: cells[i].scheme, P: P, Workload: ECSB, Iters: sc.Iters,
+		}, scaleRemote(cells[i].pct))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t.AddRow(fmt.Sprint(c.pct), c.scheme, stats.FmtF(res[i].ThroughputMops))
 	}
 	return t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rmalocks/internal/stats"
+	"rmalocks/internal/sweep"
 )
 
 // Claim is one of the paper's headline results, re-checked against the
@@ -18,22 +19,107 @@ type Claim struct {
 }
 
 // VerifyClaims re-runs the minimal set of benchmarks needed to check the
-// paper's key claims at the largest process count of the scale.
+// paper's key claims at the largest process count of the scale. Every
+// measurement is an independent deterministic simulation, so they all
+// execute in parallel on the sweep engine's worker pool; the claims are
+// assembled from the filled slots afterwards, in a fixed order.
 func VerifyClaims(sc Scale) ([]Claim, error) {
 	P := sc.Ps[len(sc.Ps)-1]
-	var claims []Claim
 
-	// --- §5.1: mutex latency and throughput ordering at scale. ---
+	var jobs []func() error
+	add := func(fn func() error) { jobs = append(jobs, fn) }
+
+	// --- §5.1 measurements: mutex latency/throughput plus the
+	// intra-node spike pair. ---
+	mutexRes := make([]Result, len(MutexSchemes))
+	for i, scheme := range MutexSchemes {
+		i, scheme := i, scheme
+		add(func() error {
+			r, err := RunMutex(MutexParams{Scheme: scheme, P: P, Workload: ECSB, Iters: sc.Iters})
+			mutexRes[i] = r
+			return err
+		})
+	}
+	var d16, d32 Result
+	add(func() error {
+		var err error
+		d16, err = RunMutex(MutexParams{Scheme: SchemeDMCS, P: 16, Workload: ECSB, Iters: sc.Iters})
+		return err
+	})
+	add(func() error {
+		var err error
+		d32, err = RunMutex(MutexParams{Scheme: SchemeDMCS, P: 32, Workload: ECSB, Iters: sc.Iters})
+		return err
+	})
+
+	// --- §5.2.4 measurements: RMA-RW vs foMPI-RW across F_W. ---
+	rwSchemes := []string{SchemeRMARW, SchemeFoMPIRW}
+	rwFWs := []float64{0.002, 0.02, 0.05}
+	rwRes := make([]Result, len(rwSchemes)*len(rwFWs))
+	for i, scheme := range rwSchemes {
+		for j, fw := range rwFWs {
+			slot, scheme, fw := i*len(rwFWs)+j, scheme, fw
+			add(func() error {
+				r, err := RunRW(RWParams{Scheme: scheme, P: P, Workload: ECSB, FW: fw, Iters: sc.Iters})
+				rwRes[slot] = r
+				return err
+			})
+		}
+	}
+
+	// --- §5.2.3 measurements: the T_R preference pair. ---
+	var trLo, trHi Result
+	add(func() error {
+		var err error
+		trLo, err = RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB, FW: 0.002, Iters: sc.Iters, TR: 1000})
+		return err
+	})
+	add(func() error {
+		var err error
+		trHi, err = RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB, FW: 0.002, Iters: sc.Iters, TR: 6000})
+		return err
+	})
+
+	// --- §5.3 measurements: the DHT case study. ---
+	dhtSchemes := []string{SchemeFoMPIA, SchemeFoMPIRW, SchemeRMARW}
+	dhtFWpair := []float64{0.05, 0.0}
+	dhtRes := make([]DHTResult, len(dhtSchemes)*len(dhtFWpair))
+	for i, scheme := range dhtSchemes {
+		for j, fw := range dhtFWpair {
+			slot, scheme, fw := i*len(dhtFWpair)+j, scheme, fw
+			add(func() error {
+				r, err := RunDHT(DHTParams{Scheme: scheme, P: P, FW: fw, OpsPerProc: sc.DHTOps})
+				dhtRes[slot] = r
+				return err
+			})
+		}
+	}
+
+	if err := sweep.ForEach(len(jobs), 0, func(i int) error { return jobs[i]() }); err != nil {
+		return nil, err
+	}
+
 	lat := map[string]float64{}
 	thr := map[string]float64{}
-	for _, scheme := range MutexSchemes {
-		r, err := RunMutex(MutexParams{Scheme: scheme, P: P, Workload: ECSB, Iters: sc.Iters})
-		if err != nil {
-			return nil, err
-		}
-		lat[scheme] = r.Latency.Mean
-		thr[scheme] = r.ThroughputMops
+	for i, scheme := range MutexSchemes {
+		lat[scheme] = mutexRes[i].Latency.Mean
+		thr[scheme] = mutexRes[i].ThroughputMops
 	}
+	rwThr := map[string]map[float64]float64{SchemeRMARW: {}, SchemeFoMPIRW: {}}
+	for i, scheme := range rwSchemes {
+		for j, fw := range rwFWs {
+			rwThr[scheme][fw] = rwRes[i*len(rwFWs)+j].ThroughputMops
+		}
+	}
+	dhtTime := map[string]map[float64]float64{}
+	for i, scheme := range dhtSchemes {
+		dhtTime[scheme] = map[float64]float64{}
+		for j, fw := range dhtFWpair {
+			dhtTime[scheme][fw] = dhtRes[i*len(dhtFWpair)+j].TotalTimeMs
+		}
+	}
+
+	var claims []Claim
 	claims = append(claims, Claim{
 		ID: "C1-latency",
 		Description: fmt.Sprintf("§5.1: RMA-MCS acquire+release latency beats foMPI-Spin and D-MCS at P=%d "+
@@ -50,17 +136,6 @@ func VerifyClaims(sc Scale) ([]Claim, error) {
 		Detail: fmt.Sprintf("mln locks/s: RMA-MCS=%.2f D-MCS=%.2f foMPI-Spin=%.3f",
 			thr[SchemeRMAMCS], thr[SchemeDMCS], thr[SchemeFoMPISpin]),
 	})
-
-	// --- §5.1: intra-node spike — topology-oblivious queues lose
-	// throughput when crossing from one node (P=16) to two (P=32). ---
-	d16, err := RunMutex(MutexParams{Scheme: SchemeDMCS, P: 16, Workload: ECSB, Iters: sc.Iters})
-	if err != nil {
-		return nil, err
-	}
-	d32, err := RunMutex(MutexParams{Scheme: SchemeDMCS, P: 32, Workload: ECSB, Iters: sc.Iters})
-	if err != nil {
-		return nil, err
-	}
 	claims = append(claims, Claim{
 		ID:          "C3-intranode-spike",
 		Description: "§5.1: ECSB throughput drops when leaving the single-node regime (P=16→32, D-MCS)",
@@ -68,18 +143,6 @@ func VerifyClaims(sc Scale) ([]Claim, error) {
 		Detail: fmt.Sprintf("D-MCS mln locks/s: P=16 %.2f → P=32 %.2f",
 			d16.ThroughputMops, d32.ThroughputMops),
 	})
-
-	// --- §5.2.4: RMA-RW vs foMPI-RW. ---
-	rwThr := map[string]map[float64]float64{SchemeRMARW: {}, SchemeFoMPIRW: {}}
-	for _, scheme := range []string{SchemeRMARW, SchemeFoMPIRW} {
-		for _, fw := range []float64{0.002, 0.02, 0.05} {
-			r, err := RunRW(RWParams{Scheme: scheme, P: P, Workload: ECSB, FW: fw, Iters: sc.Iters})
-			if err != nil {
-				return nil, err
-			}
-			rwThr[scheme][fw] = r.ThroughputMops
-		}
-	}
 	gain := rwThr[SchemeRMARW][0.002] / rwThr[SchemeFoMPIRW][0.002]
 	claims = append(claims, Claim{
 		ID: "C4-rw-vs-fompi",
@@ -102,16 +165,6 @@ func VerifyClaims(sc Scale) ([]Claim, error) {
 		Detail: fmt.Sprintf("RMA-RW mln locks/s: 0.2%%=%.2f 2%%=%.2f 5%%=%.2f",
 			rwThr[SchemeRMARW][0.002], rwThr[SchemeRMARW][0.02], rwThr[SchemeRMARW][0.05]),
 	})
-
-	// --- §5.2.3: larger T_R favors read-dominated throughput. ---
-	trLo, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB, FW: 0.002, Iters: sc.Iters, TR: 1000})
-	if err != nil {
-		return nil, err
-	}
-	trHi, err := RunRW(RWParams{Scheme: SchemeRMARW, P: P, Workload: ECSB, FW: 0.002, Iters: sc.Iters, TR: 6000})
-	if err != nil {
-		return nil, err
-	}
 	claims = append(claims, Claim{
 		ID:          "C6-tr-preference",
 		Description: "§5.2.3: increasing T_R improves read-dominated throughput (F_W=0.2%)",
@@ -119,19 +172,6 @@ func VerifyClaims(sc Scale) ([]Claim, error) {
 		Detail: fmt.Sprintf("mln locks/s: T_R=6000 %.2f vs T_R=1000 %.2f",
 			trHi.ThroughputMops, trLo.ThroughputMops),
 	})
-
-	// --- §5.3: the DHT case study. ---
-	dhtTime := map[string]map[float64]float64{}
-	for _, scheme := range []string{SchemeFoMPIA, SchemeFoMPIRW, SchemeRMARW} {
-		dhtTime[scheme] = map[float64]float64{}
-		for _, fw := range []float64{0.05, 0.0} {
-			r, err := RunDHT(DHTParams{Scheme: scheme, P: P, FW: fw, OpsPerProc: sc.DHTOps})
-			if err != nil {
-				return nil, err
-			}
-			dhtTime[scheme][fw] = r.TotalTimeMs
-		}
-	}
 	claims = append(claims, Claim{
 		ID:          "C7-dht",
 		Description: fmt.Sprintf("§5.3: RMA-RW beats foMPI-RW on the DHT at F_W=5%%, P=%d", P),

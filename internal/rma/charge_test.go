@@ -1,0 +1,83 @@
+package rma
+
+import (
+	"testing"
+
+	"rmalocks/internal/topology"
+)
+
+// oddLatency builds a model whose RTTs are odd, so any half-RTT
+// truncation in charge shows up as a missing nanosecond.
+func oddLatency(maxDist int, dataRTT, atomicRTT, occ int64) *LatencyModel {
+	n := maxDist + 1
+	m := LatencyModel{
+		DataRTT:   make([]int64, n),
+		AtomicRTT: make([]int64, n),
+		DataOcc:   make([]int64, n),
+		AtomicOcc: make([]int64, n),
+	}
+	for d := 0; d < n; d++ {
+		m.DataRTT[d] = dataRTT
+		m.AtomicRTT[d] = atomicRTT
+		m.DataOcc[d] = occ
+		m.AtomicOcc[d] = occ
+	}
+	return &m
+}
+
+func TestChargeOddRTTRoundsUp(t *testing.T) {
+	// An uncontended op from origin to completion must take exactly
+	// RTT + occupancy: with RTT=61 the outbound wire is 30 ns and the
+	// return wire 31 ns, not 30+30 (the historical truncation bug).
+	topo := topology.TwoLevel(2, 2)
+	const dataRTT, atomicRTT, occ = 61, 401, 7
+	m := NewMachineConfig(topo, Config{Latency: oddLatency(topo.MaxDistance(), dataRTT, atomicRTT, occ)})
+	off := m.Alloc(1)
+	err := m.Run(func(p *Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		t0 := p.Now()
+		p.Put(1, 3, off)
+		if d := p.Now() - t0; d != dataRTT+occ {
+			t.Errorf("Put duration=%d want %d", d, dataRTT+occ)
+		}
+		t0 = p.Now()
+		p.Get(3, off)
+		if d := p.Now() - t0; d != dataRTT+occ {
+			t.Errorf("Get duration=%d want %d", d, dataRTT+occ)
+		}
+		t0 = p.Now()
+		p.FAO(1, 3, off, OpSum)
+		if d := p.Now() - t0; d != atomicRTT+occ {
+			t.Errorf("FAO duration=%d want %d", d, atomicRTT+occ)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeHalvesSumToRTT(t *testing.T) {
+	// charge must report land = completion - return wire, with the two
+	// wire halves summing to the full RTT for even and odd values alike.
+	for _, rtt := range []int64{60, 61, 1, 2, 999} {
+		topo := topology.TwoLevel(1, 2)
+		m := NewMachineConfig(topo, Config{Latency: oddLatency(topo.MaxDistance(), rtt, rtt, 0)})
+		m.Alloc(1)
+		rttCopy := rtt
+		err := m.Run(func(p *Proc) {
+			if p.Rank() != 0 {
+				return
+			}
+			t0 := p.Now()
+			p.Put(1, 1, 0)
+			if d := p.Now() - t0; d != rttCopy {
+				t.Errorf("rtt=%d: duration=%d", rttCopy, d)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -205,15 +205,19 @@ func (m *Machine) charge(origin *Proc, target int, atomic bool) (dur, land int64
 	} else {
 		rtt, occ = m.lat.DataRTT[d], m.lat.DataOcc[d]
 	}
-	wire := rtt / 2
+	// Split the round trip into outbound and return wire time; the return
+	// half rounds up so the two always sum to the configured RTT (an odd
+	// RTT must not lose a nanosecond to truncation).
+	wireOut := rtt / 2
+	wireBack := rtt - wireOut
 	clock := origin.h.Clock()
-	start := clock + wire
+	start := clock + wireOut
 	if b := m.busy[target]; b > start {
 		start = b
 	}
 	m.busy[target] = start + occ
 	land = start + occ
-	complete := land + wire
+	complete := land + wireBack
 	dur = complete - clock
 	if dur < 1 {
 		dur = 1

@@ -202,19 +202,7 @@ func (h *Handle) Barrier() {
 	s.arrived = append(s.arrived, p)
 	if len(s.arrived) == s.live {
 		// Last arriver releases everyone.
-		var max int64
-		for _, q := range s.arrived {
-			if q.clock > max {
-				max = q.clock
-			}
-		}
-		max += s.syncCost
-		for _, q := range s.arrived {
-			q.clock = max
-			q.blocked = false
-			s.push(q)
-		}
-		s.arrived = s.arrived[:0]
+		s.releaseBarrierLocked()
 		next := s.popMin()
 		if next == p {
 			s.mu.Unlock()
@@ -262,12 +250,40 @@ func (h *Handle) Block() {
 	h.park()
 }
 
+// releaseBarrierLocked completes the current barrier: every arrived
+// process's clock synchronizes to the maximum arrival time plus the
+// barrier cost, and all are re-queued as runnable. Shared by Barrier
+// (last arriver) and exit (an exit can complete a pending barrier).
+// Caller must hold s.mu.
+func (s *Scheduler) releaseBarrierLocked() {
+	var max int64
+	for _, q := range s.arrived {
+		if q.clock > max {
+			max = q.clock
+		}
+	}
+	max += s.syncCost
+	for _, q := range s.arrived {
+		q.clock = max
+		q.blocked = false
+		s.push(q)
+	}
+	s.arrived = s.arrived[:0]
+}
+
 // Wake makes the blocked process q runnable again with its virtual clock
 // advanced to at least clock. It must be called by the currently running
 // process; the caller keeps the execution token.
 func (h *Handle) Wake(q *Handle, clock int64) {
 	s := h.s
 	s.mu.Lock()
+	if s.err != nil {
+		// The simulation is tearing down: the target may already be
+		// unwinding (its blocked flag is stale), so waking it is both
+		// unsafe and pointless. Abort like Advance/Barrier/Block do.
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
 	if !q.p.blocked {
 		s.mu.Unlock()
 		panic(fmt.Sprintf("sim: Wake of non-blocked process %d", q.p.id))
@@ -308,19 +324,7 @@ func (h *Handle) exit() {
 	}
 	// A barrier that was waiting for us can now be complete.
 	if len(s.arrived) == s.live && s.live > 0 {
-		var max int64
-		for _, q := range s.arrived {
-			if q.clock > max {
-				max = q.clock
-			}
-		}
-		max += s.syncCost
-		for _, q := range s.arrived {
-			q.clock = max
-			q.blocked = false
-			s.push(q)
-		}
-		s.arrived = s.arrived[:0]
+		s.releaseBarrierLocked()
 	}
 	if len(s.heap) == 0 {
 		s.failLocked(ErrDeadlock)

@@ -210,3 +210,72 @@ func TestManyProcs(t *testing.T) {
 		t.Errorf("done=%d want %d", done, p)
 	}
 }
+
+func TestWakeDuringTeardownAborts(t *testing.T) {
+	// Regression: once the simulation has failed, a still-running process
+	// that Wakes a watcher must abort like Advance/Barrier/Block do — not
+	// trip the "Wake of non-blocked process" panic against a target whose
+	// blocked flag went stale while its goroutine unwinds.
+	s := New(Config{Procs: 2})
+	s.err = errors.New("teardown in progress")
+	h0 := &Handle{s: s, p: s.procs[0]}
+	h1 := &Handle{s: s, p: s.procs[1]}
+	h1.p.blocked = false // target already released/unwinding
+	defer func() {
+		if _, ok := recover().(abortSignal); !ok {
+			t.Fatalf("Wake under a recorded error must panic abortSignal")
+		}
+	}()
+	h0.Wake(h1, 100)
+}
+
+func TestWakeAfterTimeLimitTeardown(t *testing.T) {
+	// End-to-end flavor of the same defect: process 1 exceeds the time
+	// limit while process 0 is blocked; the run must come back with
+	// ErrTimeLimit, not a secondary Wake panic, and never hang.
+	s := New(Config{Procs: 3, TimeLimit: 5_000})
+	handles := make([]*Handle, 3)
+	err := s.Run(func(h *Handle) {
+		handles[h.ID()] = h // token-held write, then Advance publishes
+		h.Advance(1)
+		switch h.ID() {
+		case 0:
+			h.Block() // woken only by teardown
+		case 1:
+			for {
+				h.Advance(1_000) // exceeds the limit, fails the sim
+			}
+		case 2:
+			h.Advance(10_000_000) // parked far in the future
+		}
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("err=%v want ErrTimeLimit", err)
+	}
+}
+
+func TestExitReleasesBarrierClocks(t *testing.T) {
+	// The exit path reuses the same barrier release as Barrier itself:
+	// when the last straggler exits instead of arriving, the remaining
+	// processes must still synchronize to max arrival + BarrierCost.
+	const cost = 300
+	s := New(Config{Procs: 3, BarrierCost: cost})
+	clocks := make([]int64, 3)
+	err := s.Run(func(h *Handle) {
+		if h.ID() == 2 {
+			h.Advance(50)
+			return // exits; the two-process barrier completes without it
+		}
+		h.Advance(int64(1000 * (h.ID() + 1)))
+		h.Barrier()
+		clocks[h.ID()] = h.Clock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range clocks[:2] {
+		if c != 2000+cost {
+			t.Errorf("proc %d clock=%d want %d", id, c, 2000+cost)
+		}
+	}
+}

@@ -56,8 +56,13 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
-// Percentile returns the p-th percentile (0–100) of a sorted sample using
-// nearest-rank interpolation.
+// Percentile returns the p-th percentile (0–100) of a sorted sample by
+// linear interpolation between the two closest ranks (the numpy
+// "linear" / R type-7 definition): rank = p/100·(N−1), and a fractional
+// rank blends the two neighbouring order statistics. This is NOT the
+// nearest-rank method — a 2-element sample has P50 halfway between the
+// elements, not at either one. Report values depend on this definition;
+// golden tests in stats_test.go pin it.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0

@@ -126,3 +126,46 @@ func TestFmtF(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileGoldenValues(t *testing.T) {
+	// Pin the linear-interpolation (R type-7) definition the doc promises:
+	// rank = p/100*(N-1), fractional ranks blend neighbours. A change to
+	// nearest-rank would shift every report percentile.
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"single-any-p", []float64{42}, 50, 42},
+		{"single-p95", []float64{42}, 95, 42},
+		{"two-p50-midpoint", []float64{1, 3}, 50, 2},    // nearest-rank would give 1 or 3
+		{"two-p95", []float64{1, 3}, 95, 2.9},           // 1*(0.05) + 3*(0.95)
+		{"two-p25", []float64{10, 20}, 25, 12.5},
+		{"five-p50-exact", []float64{10, 20, 30, 40, 50}, 50, 30},
+		{"five-p95", []float64{10, 20, 30, 40, 50}, 95, 48}, // rank 3.8 → 40*0.2+50*0.8
+		{"five-p25-exact", []float64{10, 20, 30, 40, 50}, 25, 20},
+		{"four-p99", []float64{1, 2, 3, 100}, 99, 97.09}, // rank 2.97 → 3*0.03+100*0.97
+	}
+	for _, c := range cases {
+		got := Percentile(c.sorted, c.p)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Percentile(%v, %v)=%v want %v", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+func TestSummarizePercentilesUseInterpolation(t *testing.T) {
+	// Summary percentiles flow through the same definition.
+	s := Summarize([]float64{1, 3})
+	if s.P50 != 2 {
+		t.Errorf("P50=%v want 2 (interpolated midpoint)", s.P50)
+	}
+	if math.Abs(s.P95-2.9) > 1e-9 || math.Abs(s.P99-2.98) > 1e-9 {
+		t.Errorf("P95=%v P99=%v want 2.9, 2.98", s.P95, s.P99)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 || one.P99 != 7 {
+		t.Errorf("single-element percentiles must all be the element: %+v", one)
+	}
+}

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"fmt"
+
+	"rmalocks/internal/stats"
+)
+
+// Delta is the per-cell comparison of a current run against a persisted
+// baseline: throughput and mean-latency movements, plus whether the two
+// executions were byte-identical (same fingerprint).
+type Delta struct {
+	Key Key
+
+	// InBase / InCur flag cells present on only one side (a grid change
+	// between runs).
+	InBase, InCur bool
+
+	// BaseMops / CurMops are aggregate throughputs (mln locks/s);
+	// MopsPct is the relative change in percent (positive = faster).
+	BaseMops, CurMops, MopsPct float64
+	// BaseLat / CurLat are mean latencies (µs); LatPct is the relative
+	// change in percent (positive = slower).
+	BaseLat, CurLat, LatPct float64
+
+	// Identical reports byte-identical fingerprints — the strongest
+	// possible match: not just equal performance, equal everything.
+	Identical bool
+}
+
+// pct returns the relative change cur vs base in percent.
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (cur - base) / base * 100
+}
+
+// Compare matches the current run's cells against a baseline by Key and
+// reports per-cell deltas: current cells first (canonical order), then
+// baseline-only cells in baseline order. Deterministic for any worker
+// count on either side.
+func Compare(base, cur []CellResult) []Delta {
+	baseByKey := make(map[Key]CellResult, len(base))
+	for _, b := range base {
+		baseByKey[b.Key] = b
+	}
+	seen := make(map[Key]bool, len(cur))
+	deltas := make([]Delta, 0, len(cur))
+	for _, c := range cur {
+		seen[c.Key] = true
+		d := Delta{
+			Key:     c.Key,
+			InCur:   true,
+			CurMops: c.Report.ThroughputMops,
+			CurLat:  c.Report.Latency.Mean,
+		}
+		if b, ok := baseByKey[c.Key]; ok {
+			d.InBase = true
+			d.BaseMops = b.Report.ThroughputMops
+			d.BaseLat = b.Report.Latency.Mean
+			d.MopsPct = pct(d.BaseMops, d.CurMops)
+			d.LatPct = pct(d.BaseLat, d.CurLat)
+			d.Identical = b.Fingerprint != "" && b.Fingerprint == c.Fingerprint
+		}
+		deltas = append(deltas, d)
+	}
+	for _, b := range base {
+		if !seen[b.Key] {
+			deltas = append(deltas, Delta{
+				Key: b.Key, InBase: true,
+				BaseMops: b.Report.ThroughputMops,
+				BaseLat:  b.Report.Latency.Mean,
+			})
+		}
+	}
+	return deltas
+}
+
+// Regressions filters deltas whose throughput dropped by more than
+// tolPct percent (or whose cell disappeared). Baseline-less cells are
+// new work, not regressions.
+func Regressions(deltas []Delta, tolPct float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		switch {
+		case d.InBase && !d.InCur:
+			out = append(out, d)
+		case d.InBase && d.InCur && d.MopsPct < -tolPct:
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CompareTable renders deltas as an aligned table (the `workbench
+// -baseline` / `make compare` output).
+func CompareTable(title string, deltas []Delta) *stats.Table {
+	t := &stats.Table{
+		Title: title,
+		Columns: []string{"Scheme", "Workload", "Profile", "P",
+			"BaseMops", "CurMops", "dMops[%]", "BaseLat[us]", "CurLat[us]", "dLat[%]", "Match"},
+	}
+	for _, d := range deltas {
+		match := "differs"
+		switch {
+		case !d.InBase:
+			match = "new"
+		case !d.InCur:
+			match = "MISSING"
+		case d.Identical:
+			match = "identical"
+		}
+		t.AddRow(d.Key.Scheme, d.Key.Workload, d.Key.Profile, fmt.Sprint(d.Key.P),
+			stats.FmtF(d.BaseMops), stats.FmtF(d.CurMops), fmtPct(d.MopsPct),
+			stats.FmtF(d.BaseLat), stats.FmtF(d.CurLat), fmtPct(d.LatPct), match)
+	}
+	return t
+}
+
+// fmtPct renders a signed percentage with fixed precision.
+func fmtPct(v float64) string { return fmt.Sprintf("%+.2f", v) }

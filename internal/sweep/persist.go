@@ -1,0 +1,69 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// RunFile is the persisted form of one sweep run — the results/*.json
+// baseline format. Cells are stored in canonical grid order; every cell
+// carries its full Report plus the Fingerprint used by reproducibility
+// checks, so a baseline can both gate performance (Compare) and detect
+// any behavioural drift at all (fingerprint inequality).
+type RunFile struct {
+	// Label describes the run (the grid title in workbench output).
+	Label string `json:"label,omitempty"`
+	// Created is an informational RFC3339 timestamp; it never takes
+	// part in comparisons.
+	Created string `json:"created,omitempty"`
+	// Cells holds the merged results in canonical order.
+	Cells []CellResult `json:"cells"`
+}
+
+// NewRunFile stamps a RunFile for persisting the given results.
+func NewRunFile(label string, results []CellResult) RunFile {
+	return RunFile{
+		Label:   label,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Cells:   results,
+	}
+}
+
+// Save writes the run as indented JSON, creating parent directories as
+// needed (results/ is the conventional home). The write goes through a
+// temporary file and rename, so an interrupted save never leaves a
+// truncated baseline behind.
+func Save(path string, rf RunFile) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("sweep: save %s: %w", path, err)
+	}
+	data, err := json.MarshalIndent(rf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: save %s: %w", path, err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("sweep: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sweep: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a run persisted by Save.
+func Load(path string) (RunFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return RunFile{}, fmt.Errorf("sweep: load %s: %w", path, err)
+	}
+	var rf RunFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return RunFile{}, fmt.Errorf("sweep: load %s: %w", path, err)
+	}
+	return rf, nil
+}

@@ -1,0 +1,295 @@
+// Package sweep is the host-parallel sweep engine: it enumerates
+// scheme × workload × profile × P parameter grids as independent
+// workload.Spec cells, executes them on a bounded worker pool, and
+// merges the results in canonical cell order.
+//
+// Every cell is a byte-deterministic simulation (see DESIGN.md,
+// "Determinism") with no shared mutable state, so the grid is
+// embarrassingly parallel across host cores: distributing cells over
+// workers changes wall-clock time but never the merged output. A
+// same-grid serial-vs-parallel equality test guards that property.
+//
+// Sweep runs persist as JSON (see persist.go) under results/, and
+// Compare (compare.go) diffs a run against a persisted baseline —
+// the repository's perf-regression gate.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rmalocks/internal/stats"
+	"rmalocks/internal/workload"
+)
+
+// Key identifies one grid cell: the coordinates of the paper's
+// scheme × workload × profile × P parameter space (§5).
+type Key struct {
+	Scheme   string `json:"scheme"`
+	Workload string `json:"workload"`
+	Profile  string `json:"profile"`
+	P        int    `json:"p"`
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s/P=%d", k.Scheme, k.Workload, k.Profile, k.P)
+}
+
+// Cell is one independent simulation of a sweep.
+type Cell struct {
+	// Key names the cell in reports and baselines.
+	Key Key
+	// Spec builds a fresh workload.Spec for one execution. A fresh value
+	// per call is required: Workload implementations carry per-run state
+	// (window offsets, DHT tables), so executions — including the -check
+	// re-run — must never share instances across workers.
+	Spec func() (workload.Spec, error)
+}
+
+// CellResult is the merged outcome of one cell, in canonical order.
+type CellResult struct {
+	Key         Key             `json:"key"`
+	Locks       int             `json:"locks"`
+	Report      workload.Report `json:"report"`
+	Fingerprint string          `json:"fingerprint"`
+}
+
+// Options configures a sweep execution.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Check runs every cell twice and fails the sweep unless both
+	// executions produce byte-identical report fingerprints.
+	Check bool
+}
+
+// ForEach runs n independent jobs on a bounded worker pool and blocks
+// until all complete. Job errors do not cancel other jobs (cells are
+// independent); the error returned is the lowest-index failure, so
+// error reporting is deterministic regardless of worker count.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes every cell on the worker pool and returns the results in
+// the cells' order. Output is byte-identical for any worker count:
+// result slot i belongs to cell i no matter which worker ran it.
+func Run(cells []Cell, opts Options) ([]CellResult, error) {
+	results := make([]CellResult, len(cells))
+	err := ForEach(len(cells), opts.Workers, func(i int) error {
+		c := cells[i]
+		rep, locks, err := runOnce(c)
+		if err != nil {
+			return fmt.Errorf("sweep: cell %s: %w", c.Key, err)
+		}
+		fp := rep.Fingerprint()
+		if opts.Check {
+			rep2, _, err := runOnce(c)
+			if err != nil {
+				return fmt.Errorf("sweep: cell %s (check re-run): %w", c.Key, err)
+			}
+			if rep2.Fingerprint() != fp {
+				return fmt.Errorf("sweep: cell %s is NOT reproducible", c.Key)
+			}
+		}
+		results[i] = CellResult{Key: c.Key, Locks: locks, Report: rep, Fingerprint: fp}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func runOnce(c Cell) (workload.Report, int, error) {
+	spec, err := c.Spec()
+	if err != nil {
+		return workload.Report{}, 0, err
+	}
+	locks := 1
+	if spec.Profile != nil {
+		locks = spec.Profile.Locks()
+	}
+	rep, err := workload.Run(spec)
+	return rep, locks, err
+}
+
+// Grid enumerates a scheme × workload × profile × P parameter space
+// with shared cell parameters. Zero fields select the defaults of the
+// paper's evaluation setup (fill).
+type Grid struct {
+	// Schemes, Workloads and Profiles name the axes (workload.Schemes,
+	// workload.WorkloadNames, workload.ProfileNames).
+	Schemes   []string
+	Workloads []string
+	Profiles  []string
+	// Ps is the process-count axis (e.g. 16→512 to reproduce the
+	// paper's scaling figures in one invocation). Default {64}.
+	Ps []int
+
+	// ProcsPerNode is the machine shape (default 16).
+	ProcsPerNode int
+	// Iters is the measured cycles per process (default 50); it also
+	// sets the sweep profile's span.
+	Iters int
+	// Seed seeds every cell (default 1).
+	Seed int64
+	// FW is the writer fraction handed to the profiles.
+	FW float64
+	// Locks is the lock-set size for multi-lock profiles (default 8;
+	// clamped to P for the sharded DHT workload).
+	Locks int
+	// ZipfS is the Zipf skew exponent (default 1.2).
+	ZipfS float64
+	// ThinkNs / ThinkJitterNs set post-release think time.
+	ThinkNs       int64
+	ThinkJitterNs int64
+	// Params tunes the lock schemes.
+	Params workload.SchemeParams
+}
+
+func (g Grid) fill() Grid {
+	if len(g.Ps) == 0 {
+		g.Ps = []int{64}
+	}
+	if g.ProcsPerNode == 0 {
+		g.ProcsPerNode = 16
+	}
+	if g.Iters == 0 {
+		g.Iters = 50
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	if g.Locks == 0 {
+		g.Locks = 8
+	}
+	if g.ZipfS == 0 {
+		g.ZipfS = 1.2
+	}
+	return g
+}
+
+// Cells enumerates the grid in canonical order: scheme outermost, then
+// workload, then profile, then P. Reports, baselines and diffs all
+// follow this order.
+func (g Grid) Cells() []Cell {
+	g = g.fill()
+	var cells []Cell
+	for _, scheme := range g.Schemes {
+		for _, wname := range g.Workloads {
+			for _, pname := range g.Profiles {
+				for _, p := range g.Ps {
+					cells = append(cells, g.cell(scheme, wname, pname, p))
+				}
+			}
+		}
+	}
+	return cells
+}
+
+func (g Grid) cell(scheme, wname, pname string, p int) Cell {
+	return Cell{
+		Key: Key{Scheme: scheme, Workload: wname, Profile: pname, P: p},
+		Spec: func() (workload.Spec, error) {
+			wl, err := workload.ByName(wname)
+			if err != nil {
+				return workload.Spec{}, err
+			}
+			// A sharded DHT needs one volume per lock: clamp the set to P.
+			nlocks := g.Locks
+			if wname == "dht" && nlocks > p {
+				nlocks = p
+			}
+			prof, err := workload.ProfileByName(pname, workload.ProfileOpts{
+				Locks: nlocks, FW: g.FW, ZipfS: g.ZipfS, Span: g.Iters,
+				ThinkNs: g.ThinkNs, ThinkJitterNs: g.ThinkJitterNs,
+			})
+			if err != nil {
+				return workload.Spec{}, err
+			}
+			return workload.Spec{
+				Scheme:       scheme,
+				P:            p,
+				ProcsPerNode: g.ProcsPerNode,
+				Seed:         g.Seed,
+				Iters:        g.Iters,
+				Profile:      prof,
+				Workload:     wl,
+				Params:       g.Params,
+			}, nil
+		},
+	}
+}
+
+// Table renders merged results as the workbench grid table; because the
+// results arrive in canonical order, its rendering is byte-identical
+// for any worker count.
+func Table(title string, results []CellResult) *stats.Table {
+	t := &stats.Table{
+		Title: title,
+		Columns: []string{"Scheme", "Workload", "Profile", "P", "Locks",
+			"Mops", "MeanLat[us]", "P95Lat[us]", "Makespan[ms]", "Reads", "Writes", "Extra"},
+	}
+	for _, r := range results {
+		rep := r.Report
+		t.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(rep.P), fmt.Sprint(r.Locks),
+			stats.FmtF(rep.ThroughputMops), stats.FmtF(rep.Latency.Mean), stats.FmtF(rep.Latency.P95),
+			stats.FmtF(rep.MakespanMs), fmt.Sprint(rep.Reads), fmt.Sprint(rep.Writes), extraString(rep))
+	}
+	return t
+}
+
+// extraString flattens workload-specific extras into one cell, in a
+// fixed key order so rendering stays deterministic.
+func extraString(rep workload.Report) string {
+	if len(rep.Extra) == 0 {
+		return "-"
+	}
+	out := ""
+	for _, k := range []string{"stored", "overflows", "counter"} {
+		if v, ok := rep.Extra[k]; ok {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s=%g", k, v)
+		}
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}

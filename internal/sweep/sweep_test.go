@@ -1,0 +1,205 @@
+package sweep_test
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"rmalocks/internal/sweep"
+	"rmalocks/internal/workload"
+)
+
+// testGrid is a small but representative grid: two schemes (one mutex,
+// one RW), two profiles, two process counts.
+func testGrid() sweep.Grid {
+	return sweep.Grid{
+		Schemes:   []string{workload.SchemeDMCS, workload.SchemeRMARW},
+		Workloads: []string{"empty"},
+		Profiles:  []string{"uniform", "zipf"},
+		Ps:        []int{8, 16},
+		Iters:     12,
+		FW:        0.2,
+		Locks:     4,
+	}
+}
+
+func TestSerialAndParallelByteIdentical(t *testing.T) {
+	// The acceptance gate: the same grid run with one worker and with
+	// many workers must merge to byte-identical output — fingerprints,
+	// rendered table, and CSV alike.
+	cells := testGrid().Cells()
+	serial, err := sweep.Run(cells, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sweep.Run(testGrid().Cells(), sweep.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(cells) || len(parallel) != len(cells) {
+		t.Fatalf("result counts: %d, %d want %d", len(serial), len(parallel), len(cells))
+	}
+	for i := range serial {
+		if serial[i].Fingerprint != parallel[i].Fingerprint {
+			t.Errorf("cell %s: serial and parallel fingerprints differ", serial[i].Key)
+		}
+		if serial[i].Key != cells[i].Key {
+			t.Errorf("cell %d merged out of canonical order: %s vs %s", i, serial[i].Key, cells[i].Key)
+		}
+	}
+	st := sweep.Table("grid", serial)
+	pt := sweep.Table("grid", parallel)
+	if st.String() != pt.String() {
+		t.Error("rendered tables differ between -j 1 and -j 8")
+	}
+	if st.CSV() != pt.CSV() {
+		t.Error("CSV output differs between -j 1 and -j 8")
+	}
+}
+
+func TestGridCanonicalOrder(t *testing.T) {
+	cells := sweep.Grid{
+		Schemes:   []string{"A", "B"},
+		Workloads: []string{"w"},
+		Profiles:  []string{"p", "q"},
+		Ps:        []int{1, 2},
+	}.Cells()
+	var got []string
+	for _, c := range cells {
+		got = append(got, c.Key.String())
+	}
+	want := []string{
+		"A/w/p/P=1", "A/w/p/P=2", "A/w/q/P=1", "A/w/q/P=2",
+		"B/w/p/P=1", "B/w/p/P=2", "B/w/q/P=1", "B/w/q/P=2",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestRunCheckMode(t *testing.T) {
+	g := testGrid()
+	g.Ps = []int{8}
+	if _, err := sweep.Run(g.Cells(), sweep.Options{Workers: 4, Check: true}); err != nil {
+		t.Fatalf("deterministic grid failed -check: %v", err)
+	}
+}
+
+func TestRunPropagatesCellErrors(t *testing.T) {
+	g := testGrid()
+	g.Schemes = []string{"no-such-scheme"}
+	if _, err := sweep.Run(g.Cells(), sweep.Options{}); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+}
+
+func TestForEachDeterministicFirstError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for trial := 0; trial < 8; trial++ {
+		err := sweep.ForEach(32, 8, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 20:
+				return errHigh
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: err=%v want lowest-index error", trial, err)
+		}
+	}
+}
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	var ran int64
+	if err := sweep.ForEach(100, 7, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 100 {
+		t.Errorf("ran=%d want 100", ran)
+	}
+}
+
+func TestSaveLoadCompareRoundTrip(t *testing.T) {
+	g := testGrid()
+	g.Ps = []int{8}
+	results, err := sweep.Run(g.Cells(), sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "results", "sweep.json")
+	if err := sweep.Save(path, sweep.NewRunFile("test run", results)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sweep.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Label != "test run" || len(loaded.Cells) != len(results) {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+
+	// A re-run of the same grid against the loaded baseline must show
+	// zero deltas and byte-identical fingerprints on every cell.
+	rerun, err := sweep.Run(g.Cells(), sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := sweep.Compare(loaded.Cells, rerun)
+	if len(deltas) != len(results) {
+		t.Fatalf("deltas=%d want %d", len(deltas), len(results))
+	}
+	for _, d := range deltas {
+		if !d.InBase || !d.InCur || !d.Identical || d.MopsPct != 0 || d.LatPct != 0 {
+			t.Errorf("cell %s not a clean round trip: %+v", d.Key, d)
+		}
+	}
+	if regs := sweep.Regressions(deltas, 0); len(regs) != 0 {
+		t.Errorf("clean round trip flagged regressions: %+v", regs)
+	}
+}
+
+func TestCompareDetectsMovementAndMissingCells(t *testing.T) {
+	g := testGrid()
+	g.Ps = []int{8}
+	base, err := sweep.Run(g.Cells(), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade one cell by 50% and drop another; add nothing new.
+	cur := make([]sweep.CellResult, len(base))
+	copy(cur, base)
+	cur[0].Report.ThroughputMops = base[0].Report.ThroughputMops / 2
+	cur[0].Fingerprint = "mutated"
+	cur = cur[:len(cur)-1]
+	dropped := base[len(base)-1].Key
+
+	deltas := sweep.Compare(base, cur)
+	if len(deltas) != len(base) {
+		t.Fatalf("deltas=%d want %d (dropped cells still reported)", len(deltas), len(base))
+	}
+	if d := deltas[0]; d.Identical || d.MopsPct > -49.9 || d.MopsPct < -50.1 {
+		t.Errorf("degraded cell not detected: %+v", d)
+	}
+	last := deltas[len(deltas)-1]
+	if last.Key != dropped || last.InCur || !last.InBase {
+		t.Errorf("missing cell not reported: %+v", last)
+	}
+
+	regs := sweep.Regressions(deltas, 5)
+	if len(regs) != 2 {
+		t.Fatalf("regressions=%d want 2 (one drop, one missing): %+v", len(regs), regs)
+	}
+	tbl := sweep.CompareTable("diff", deltas).String()
+	if !strings.Contains(tbl, "MISSING") || !strings.Contains(tbl, "identical") {
+		t.Errorf("compare table lacks match markers:\n%s", tbl)
+	}
+}

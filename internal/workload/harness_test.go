@@ -247,3 +247,48 @@ func (countingWorkload) Name() string                           { return "counti
 func (countingWorkload) Setup(*rma.Machine)                     {}
 func (w countingWorkload) Body(p *rma.Proc, in workload.Intent) { w.counts[in.Lock]++ }
 func (countingWorkload) Extract(*rma.Machine, *workload.Report) {}
+
+func TestSkipRankStartUsesAlignedClock(t *testing.T) {
+	// When rank 0 sits out (Spec.Skip), it is still the rank that samples
+	// the measured-phase start time — which must be the post-barrier
+	// aligned clock, not its pre-barrier arrival time. If it were not,
+	// the makespan would absorb the other ranks' warm-up phase: pinning
+	// makespan/throughput as invariant under the warm-up length proves
+	// the start really is taken after clocks align. (foMPI-Spin with an
+	// uncontended single participant consumes no RNG, so the measured
+	// phase is byte-identical regardless of how many warm-up cycles ran.)
+	run := func(warmup int) workload.Report {
+		rep, err := workload.Run(workload.Spec{
+			Scheme: workload.SchemeFoMPISpin, P: 2, Iters: 20, Warmup: warmup,
+			Skip: func(rank, procs int) bool { return rank == 0 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	noWarm, warm := run(-1), run(25)
+	if noWarm.Ops != 20 || warm.Ops != 20 {
+		t.Fatalf("ops: %d, %d want 20 (only rank 1 participates)", noWarm.Ops, warm.Ops)
+	}
+	if warm.WarmupOps != 25 {
+		t.Errorf("WarmupOps=%d want 25", warm.WarmupOps)
+	}
+	if warm.MakespanMs != noWarm.MakespanMs {
+		t.Errorf("makespan absorbed the warm-up phase: %v ms (warmup=25) vs %v ms (no warmup)",
+			warm.MakespanMs, noWarm.MakespanMs)
+	}
+	if warm.ThroughputMops != noWarm.ThroughputMops {
+		t.Errorf("throughput depends on warm-up length: %v vs %v",
+			warm.ThroughputMops, noWarm.ThroughputMops)
+	}
+	if warm.MaxClock <= noWarm.MaxClock {
+		t.Errorf("warm-up must still extend total virtual time: %d <= %d",
+			warm.MaxClock, noWarm.MaxClock)
+	}
+	// Throughput and makespan must describe the same interval.
+	wantMops := float64(warm.Ops) / (warm.MakespanMs * 1e3)
+	if d := warm.ThroughputMops - wantMops; d > 1e-9 || d < -1e-9 {
+		t.Errorf("throughput %v inconsistent with makespan (want %v)", warm.ThroughputMops, wantMops)
+	}
+}

@@ -175,6 +175,9 @@ type Bursty struct {
 	// IdleThinkNs is the think time charged per off-phase iteration
 	// (default 20 µs).
 	IdleThinkNs int64
+	// IdleJitterNs adds a uniform draw in [0, IdleJitterNs) to each
+	// off-phase think time.
+	IdleJitterNs int64
 	// Desync staggers the phase offset by rank.
 	Desync bool
 }
@@ -204,7 +207,7 @@ func (b Bursty) Next(p *rma.Proc, it int) Intent {
 		Write: pickWrite(p, b.FW),
 	}
 	if pos >= burst {
-		in.Think = think
+		in.Think = drawThink(p, think, b.IdleJitterNs)
 	}
 	return in
 }
@@ -280,7 +283,11 @@ func ProfileByName(name string, o ProfileOpts) (Profile, error) {
 		z.ThinkNs, z.ThinkJitterNs = o.ThinkNs, o.ThinkJitterNs
 		return z, nil
 	case "bursty":
-		return Bursty{NumLocks: o.Locks, FW: o.FW, Desync: true}, nil
+		// ThinkNs maps onto the off-phase think time (0 keeps the bursty
+		// default); dropping either option silently would make the same
+		// opts mean different things per profile.
+		return Bursty{NumLocks: o.Locks, FW: o.FW, Desync: true,
+			IdleThinkNs: o.ThinkNs, IdleJitterNs: o.ThinkJitterNs}, nil
 	case "sweep":
 		end := o.FW
 		if end <= 0 {

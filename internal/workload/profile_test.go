@@ -1,0 +1,118 @@
+package workload_test
+
+import (
+	"testing"
+
+	"rmalocks/internal/rma"
+	"rmalocks/internal/workload"
+)
+
+func TestProfileByNameOptsRoundTrip(t *testing.T) {
+	// Every named profile must carry the generic opts through to its
+	// concrete fields — bursty historically dropped ThinkNs/ThinkJitterNs
+	// on the floor.
+	opts := workload.ProfileOpts{
+		Locks: 5, FW: 0.3, ZipfS: 1.5, Span: 77,
+		ThinkNs: 12_345, ThinkJitterNs: 678,
+	}
+	for _, name := range workload.ProfileNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pr, err := workload.ProfileByName(name, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr.Name() != name {
+				t.Fatalf("Name()=%q want %q", pr.Name(), name)
+			}
+			if pr.Locks() != opts.Locks {
+				t.Errorf("Locks()=%d want %d", pr.Locks(), opts.Locks)
+			}
+			switch p := pr.(type) {
+			case workload.Uniform:
+				if p.FW != opts.FW || p.ThinkNs != opts.ThinkNs || p.ThinkJitterNs != opts.ThinkJitterNs {
+					t.Errorf("uniform dropped opts: %+v", p)
+				}
+			case *workload.Zipf:
+				if p.FW != opts.FW || p.S() != opts.ZipfS || p.ThinkNs != opts.ThinkNs || p.ThinkJitterNs != opts.ThinkJitterNs {
+					t.Errorf("zipf dropped opts: %+v (S=%v)", p, p.S())
+				}
+			case workload.Bursty:
+				if p.FW != opts.FW || p.IdleThinkNs != opts.ThinkNs || p.IdleJitterNs != opts.ThinkJitterNs {
+					t.Errorf("bursty dropped opts: %+v", p)
+				}
+			case workload.RWSweep:
+				if p.FWEnd != opts.FW || p.Span != opts.Span || p.ThinkNs != opts.ThinkNs || p.ThinkJitterNs != opts.ThinkJitterNs {
+					t.Errorf("sweep dropped opts: %+v", p)
+				}
+			default:
+				t.Errorf("profile %q has unexpected concrete type %T", name, pr)
+			}
+		})
+	}
+}
+
+// recordingProfile wraps a Profile and tallies every Intent.Think it
+// hands out. Writes happen while the deciding process holds the
+// scheduler token, so plain slice appends are safe.
+type recordingProfile struct {
+	workload.Profile
+	thinks *[]int64
+}
+
+func (r recordingProfile) Next(p *rma.Proc, it int) workload.Intent {
+	in := r.Profile.Next(p, it)
+	*r.thinks = append(*r.thinks, in.Think)
+	return in
+}
+
+func TestBurstyIdleJitterDeterministicAndBounded(t *testing.T) {
+	// Jittered idle think must stay within [IdleThinkNs, IdleThinkNs +
+	// IdleJitterNs), apply only to off-phase iterations, and remain a
+	// pure function of the machine seed.
+	prof := workload.Bursty{FW: 1, BurstLen: 2, IdleLen: 2,
+		IdleThinkNs: 10_000, IdleJitterNs: 5_000}
+	run := func(thinks *[]int64) workload.Report {
+		var p workload.Profile = prof
+		if thinks != nil {
+			p = recordingProfile{Profile: prof, thinks: thinks}
+		}
+		rep, err := workload.Run(workload.Spec{
+			Scheme: workload.SchemeDMCS, P: 8, Iters: 16, Profile: p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	var thinks []int64
+	a, b := run(&thinks), run(nil)
+	idle := 0
+	for _, th := range thinks {
+		switch {
+		case th == 0: // burst-phase iteration: no think time
+		case th >= prof.IdleThinkNs && th < prof.IdleThinkNs+prof.IdleJitterNs:
+			idle++
+		default:
+			t.Fatalf("think %d outside [%d, %d)", th, prof.IdleThinkNs, prof.IdleThinkNs+prof.IdleJitterNs)
+		}
+	}
+	if idle == 0 || idle == len(thinks) {
+		t.Fatalf("expected a mix of burst and idle iterations, got %d/%d idle", idle, len(thinks))
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("jittered bursty runs are not seed-deterministic")
+	}
+	// Jitter must actually lengthen the run versus the jitter-free profile.
+	noJitter := prof
+	noJitter.IdleJitterNs = 0
+	rep, err := workload.Run(workload.Spec{
+		Scheme: workload.SchemeDMCS, P: 8, Iters: 16, Profile: noJitter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxClock <= rep.MaxClock {
+		t.Errorf("jitter did not extend the run: %d <= %d", a.MaxClock, rep.MaxClock)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"rmalocks/internal/locks/rmamcs"
 	"rmalocks/internal/locks/rmarw"
 	"rmalocks/internal/rma"
+	"rmalocks/internal/sweep"
 	"rmalocks/internal/topology"
 	"rmalocks/internal/workload"
 )
@@ -184,4 +185,48 @@ func NewZipfProfile(numLocks int, s, fw float64) *workload.Zipf {
 // Results are a deterministic function of (spec, spec.Seed).
 func RunWorkload(spec WorkloadSpec) (WorkloadReport, error) {
 	return workload.Run(spec)
+}
+
+// Sweep engine (internal/sweep, see DESIGN.md "The sweep engine"):
+// scheme × workload × profile × P grids executed host-parallel on a
+// bounded worker pool, merged in canonical cell order (byte-identical
+// for any worker count), persisted as JSON baselines, and diffed for
+// perf regressions.
+type (
+	// SweepGrid enumerates a parameter grid into independent cells.
+	SweepGrid = sweep.Grid
+	// SweepCell is one independent simulation of a sweep.
+	SweepCell = sweep.Cell
+	// SweepKey identifies a grid cell (scheme/workload/profile/P).
+	SweepKey = sweep.Key
+	// SweepOptions bounds the worker pool and enables -check mode.
+	SweepOptions = sweep.Options
+	// SweepCellResult is the merged outcome of one cell.
+	SweepCellResult = sweep.CellResult
+	// SweepRunFile is the persisted JSON baseline format (results/).
+	SweepRunFile = sweep.RunFile
+	// SweepDelta is a per-cell baseline comparison.
+	SweepDelta = sweep.Delta
+)
+
+// RunSweep executes every cell on a bounded worker pool and merges the
+// results in canonical cell order: output is byte-identical regardless
+// of the worker count.
+func RunSweep(cells []SweepCell, opts SweepOptions) ([]SweepCellResult, error) {
+	return sweep.Run(cells, opts)
+}
+
+// SaveSweep persists a sweep run as a JSON baseline; LoadSweep reads
+// one back.
+func SaveSweep(path, label string, results []SweepCellResult) error {
+	return sweep.Save(path, sweep.NewRunFile(label, results))
+}
+
+// LoadSweep reads a baseline persisted by SaveSweep.
+func LoadSweep(path string) (SweepRunFile, error) { return sweep.Load(path) }
+
+// CompareSweeps diffs a current run against a baseline per cell; use
+// sweep.Regressions-style filtering via the returned deltas.
+func CompareSweeps(base, cur []SweepCellResult) []SweepDelta {
+	return sweep.Compare(base, cur)
 }

@@ -1,6 +1,7 @@
 package rmalocks_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"rmalocks"
@@ -143,5 +144,36 @@ func TestMachineSpecDefaults(t *testing.T) {
 	m := rmalocks.NewMachine(rmalocks.MachineSpec{})
 	if m.Procs() != 16 {
 		t.Errorf("default machine has %d procs, want 16 (1 node x 16)", m.Procs())
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	grid := rmalocks.SweepGrid{
+		Schemes:   []string{"D-MCS"},
+		Workloads: []string{"empty"},
+		Profiles:  []string{"uniform"},
+		Ps:        []int{8, 16},
+		Iters:     8,
+	}
+	results, err := rmalocks.RunSweep(grid.Cells(), rmalocks.SweepOptions{Workers: 2, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := rmalocks.SaveSweep(path, "facade", results); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rmalocks.LoadSweep(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := rmalocks.CompareSweeps(rf.Cells, results)
+	for _, d := range deltas {
+		if !d.Identical {
+			t.Errorf("cell %s not identical after save/load round trip", d.Key)
+		}
 	}
 }
