@@ -4,7 +4,7 @@ GO ?= go
 # `make compare` (re-run + per-cell diff against it).
 SWEEP_FLAGS = -profiles uniform,zipf,bursty,sweep -ps 16,32,64
 
-.PHONY: build test race bench grid sweep compare clean
+.PHONY: build test race bench bench-smoke grid sweep compare clean
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,34 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The PR number stamped into the persisted benchmark trajectory
+# (BENCH_$(BENCH_PR).json); bump it alongside new perf PRs.
+BENCH_PR = 3
+
 # Benchmarks are benchstat-compatible: `make bench`, change code,
 # `make bench` again, then `benchstat` the two results/bench.txt copies.
+# Additionally persists the machine-readable trajectory BENCH_3.json
+# (ns/op + allocs/op for the scheduler, harness and sweep benchmarks;
+# schema in DESIGN.md) so future PRs can gate on it.
+# Redirect-then-cat instead of `| tee`: a pipe would mask a failing
+# benchmark behind tee's exit status and persist a truncated trajectory.
 bench:
 	@mkdir -p results
-	$(GO) test -run '^$$' -bench . -benchmem ./... | tee results/bench.txt
+	$(GO) test -run '^$$' -bench . -benchmem ./... > results/bench.txt
+	@cat results/bench.txt
+	$(GO) run ./cmd/benchjson -pr $(BENCH_PR) -in results/bench.txt \
+		-out BENCH_$(BENCH_PR).json \
+		-packages internal/sim,internal/workload,internal/sweep
+
+# Short bench pass over the perf-critical packages only; CI's bench-smoke
+# job runs this and uploads both files as an artifact. Single source of
+# the trajectory PR number (BENCH_PR above).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100x \
+		./internal/sim/... ./internal/workload/ ./internal/sweep/ \
+		> bench-smoke.txt
+	@cat bench-smoke.txt
+	$(GO) run ./cmd/benchjson -pr $(BENCH_PR) -in bench-smoke.txt -out bench-smoke.json
 
 # One full scheme × workload × profile grid with reproducibility check.
 # Redirect-then-cat instead of `| tee`: a pipe would mask a failing
@@ -40,5 +63,5 @@ compare:
 	$(GO) run ./cmd/workbench $(SWEEP_FLAGS) -baseline results/sweep.json
 
 clean:
-	rm -rf results
+	rm -rf results bench-smoke.txt bench-smoke.json
 	$(GO) clean ./...

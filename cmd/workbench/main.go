@@ -21,13 +21,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"rmalocks/internal/rma"
 	"rmalocks/internal/sweep"
 	"rmalocks/internal/workload"
 )
+
+// runOpts carries the parsed, validated flags into run.
+type runOpts struct {
+	grid             sweep.Grid
+	jobs             int
+	check, csv       bool
+	out, baseline    string
+	tol              float64
+	cpuprof, memprof string
+}
 
 func main() {
 	var (
@@ -48,53 +61,112 @@ func main() {
 		out       = flag.String("out", "", "persist the run as JSON (e.g. results/sweep.json)")
 		baseline  = flag.String("baseline", "", "compare against a persisted run and report per-cell deltas")
 		tol       = flag.Float64("tol", 0, "throughput-regression tolerance in percent for -baseline (exit 1 beyond it)")
+		engine    = flag.String("engine", "", "scheduler engine: '' or 'fast' (token-owned fast path), 'ref' (reference; differential runs)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memprof   = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	)
 	flag.Parse()
 
-	grid := sweep.Grid{
-		Schemes:   split(*schemes, workload.Schemes),
-		Workloads: split(*workloads, workload.WorkloadNames),
-		Profiles:  split(*profiles, workload.ProfileNames),
-		Ps:        parsePs(*psFlag, *p),
-		Iters:     *iters, ProcsPerNode: *ppn, Seed: *seed,
-		FW: *fw, Locks: *nlocks, ZipfS: *zipfS,
+	// Validate before profiling starts: flag errors must exit cleanly,
+	// not crash a sweep worker or truncate a profile.
+	switch *engine {
+	case "", rma.EngineFast, rma.EngineRef:
+	default:
+		fmt.Fprintf(os.Stderr, "workbench: unknown -engine %q (have '', %q, %q)\n",
+			*engine, rma.EngineFast, rma.EngineRef)
+		os.Exit(2)
 	}
+
+	opts := runOpts{
+		grid: sweep.Grid{
+			Schemes:   split(*schemes, workload.Schemes),
+			Workloads: split(*workloads, workload.WorkloadNames),
+			Profiles:  split(*profiles, workload.ProfileNames),
+			Ps:        parsePs(*psFlag, *p),
+			Iters:     *iters, ProcsPerNode: *ppn, Seed: *seed,
+			FW: *fw, Locks: *nlocks, ZipfS: *zipfS, Engine: *engine,
+		},
+		jobs: *jobs, check: *check, csv: *csv,
+		out: *out, baseline: *baseline, tol: *tol,
+		cpuprof: *cpuprof, memprof: *memprof,
+	}
+	// The work happens inside run so that its deferred profile writers
+	// always execute; os.Exit only fires out here, after they flushed.
+	os.Exit(run(opts))
+}
+
+func run(opts runOpts) int {
+	if opts.cpuprof != "" {
+		f, err := os.Create(opts.cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "[cpu profile written to %s]\n", opts.cpuprof)
+		}()
+	}
+	if opts.memprof != "" {
+		defer func() {
+			f, err := os.Create(opts.memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[heap profile written to %s]\n", opts.memprof)
+		}()
+	}
+
+	grid := opts.grid
 	title := fmt.Sprintf("Workload grid: Ps=%v ppn=%d iters=%d seed=%d fw=%g",
-		grid.Ps, *ppn, *iters, *seed, *fw)
+		grid.Ps, grid.ProcsPerNode, grid.Iters, grid.Seed, grid.FW)
 
 	start := time.Now()
 	cells := grid.Cells()
-	results, err := sweep.Run(cells, sweep.Options{Workers: *jobs, Check: *check})
+	results, err := sweep.Run(cells, sweep.Options{Workers: opts.jobs, Check: opts.check})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	tb := sweep.Table(title, results)
-	if *csv {
+	if opts.csv {
 		fmt.Printf("# %s\n%s", tb.Title, tb.CSV())
 	} else {
 		fmt.Println(tb.String())
 	}
 	status := "deterministic per seed (re-run with -check to verify)"
-	if *check {
+	if opts.check {
 		status = "all cells reproduced byte-identically"
 	}
 	fmt.Fprintf(os.Stderr, "[%d cells in %v; %s]\n", len(results), time.Since(start).Round(time.Millisecond), status)
 
-	if *out != "" {
-		if err := sweep.Save(*out, sweep.NewRunFile(title, results)); err != nil {
+	if opts.out != "" {
+		if err := sweep.Save(opts.out, sweep.NewRunFile(title, results)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "[baseline saved to %s]\n", *out)
+		fmt.Fprintf(os.Stderr, "[baseline saved to %s]\n", opts.out)
 	}
-	if *baseline != "" {
-		if err := diffBaseline(*baseline, results, *tol); err != nil {
+	if opts.baseline != "" {
+		if err := diffBaseline(opts.baseline, results, opts.tol); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // diffBaseline loads a persisted run, prints per-cell deltas, and

@@ -77,6 +77,7 @@ type MutexParams struct {
 	Seed         int64
 	ProcsPerNode int     // default ProcsPerNode
 	TL           []int64 // RMA-MCS locality thresholds (optional)
+	Engine       string  // scheduler engine ("" = fast path, "ref" = reference)
 }
 
 // RWParams configures one reader-writer benchmark run.
@@ -88,6 +89,7 @@ type RWParams struct {
 	Iters        int
 	Seed         int64
 	ProcsPerNode int
+	Engine       string // scheduler engine ("" = fast path, "ref" = reference)
 	// RMA-RW parameters (ignored by foMPI-RW).
 	TDC int
 	TR  int64

@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+// TestRunMutexEngineDifferential pins the Engine plumb-through: the
+// historical figure-runner entry points must produce identical results
+// on the fast-path and reference schedulers.
+func TestRunMutexEngineDifferential(t *testing.T) {
+	mk := func(engine string) MutexParams {
+		return MutexParams{Scheme: SchemeRMAMCS, P: 16, ProcsPerNode: 4,
+			Workload: SOB, Iters: 10, Seed: 2, Engine: engine}
+	}
+	fast, err := RunMutex(mk(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunMutex(mk("ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != ref {
+		t.Errorf("engines diverged:\n fast: %+v\n ref:  %+v", fast, ref)
+	}
+}

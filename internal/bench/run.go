@@ -44,6 +44,7 @@ func mutexSpec(params MutexParams) workload.Spec {
 		Profile:      prof,
 		Workload:     wl,
 		Params:       workload.SchemeParams{TL: params.TL},
+		Engine:       params.Engine,
 	}
 }
 
@@ -109,6 +110,7 @@ func RunRW(params RWParams) (Result, error) {
 		Profile:      prof,
 		Workload:     wl,
 		Params:       workload.SchemeParams{TL: params.TL, TDC: params.TDC, TR: params.TR},
+		Engine:       params.Engine,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("bench: %s P=%d FW=%g: %w", params.Scheme, params.P, params.FW, err)

@@ -6,7 +6,8 @@
 // exactly the operation set the paper's locks are written against. Timing is
 // virtual: operations charge a topology-dependent latency and serialize per
 // target rank (NIC/memory occupancy), driven by the deterministic
-// discrete-event scheduler in package sim.
+// discrete-event scheduler in package sim (or its refsim reference
+// implementation, selected by Config.Engine).
 //
 // Memory effects apply at operation issue (a legal linearization point), so
 // protocol correctness is exact; timing is modeled.
@@ -17,6 +18,7 @@ import (
 	"math/rand"
 
 	"rmalocks/internal/sim"
+	"rmalocks/internal/sim/refsim"
 	"rmalocks/internal/topology"
 )
 
@@ -44,6 +46,37 @@ func (o Op) String() string {
 	}
 }
 
+// schedHandle abstracts the per-process scheduler handle behind the
+// operations the RMA layer needs, so one Machine can run on either the
+// fast-path scheduler (sim) or the reference one (refsim). Both engines
+// expose the same Horizon semantics, which keeps charge coalescing — and
+// therefore every interleaving — byte-identical between them.
+type schedHandle interface {
+	ID() int
+	Clock() int64
+	Horizon() int64
+	Advance(d int64)
+	Barrier()
+	Block()
+	WakeAt(clock int64)
+}
+
+// engine abstracts a whole scheduler run.
+type engine interface {
+	MaxClock() int64
+	Release()
+}
+
+// Engine names accepted by Config.Engine.
+const (
+	// EngineFast is the token-owned fast-path scheduler (internal/sim),
+	// the default.
+	EngineFast = "fast"
+	// EngineRef is the reference scheduler (internal/sim/refsim), used by
+	// the differential determinism suite.
+	EngineRef = "ref"
+)
+
 // Machine is a simulated distributed machine: topology, latency model, and
 // one RMA window per rank. Construct it, let locks and data structures
 // allocate window words with Alloc and register initializers with OnInit,
@@ -52,17 +85,19 @@ type Machine struct {
 	topo *topology.Topology
 	lat  LatencyModel
 
-	words    int // window words per rank
-	mem      []int64
-	busy     []int64 // per-rank target busy-until (virtual ns)
-	watchers map[int][]watcher
-	inits    []func(m *Machine)
-	seed     int64
-	limit    int64 // virtual time limit (0 = none)
-	bcost    int64 // barrier cost
-	ran      bool
-	stats    Stats
-	maxClk   int64
+	words      int // window words per rank
+	mem        []int64
+	busy       []int64 // per-rank target busy-until (virtual ns)
+	watchers   map[int][]watcher
+	inits      []func(m *Machine)
+	seed       int64
+	limit      int64 // virtual time limit (0 = none)
+	bcost      int64 // barrier cost
+	engine     string
+	nocoalesce bool
+	ran        bool
+	stats      Stats
+	maxClk     int64
 }
 
 // Config carries optional Machine parameters.
@@ -75,6 +110,14 @@ type Config struct {
 	TimeLimit int64
 	// BarrierCost is the virtual cost of one barrier (default 2µs).
 	BarrierCost int64
+	// Engine selects the scheduler implementation: "" or EngineFast for
+	// the token-owned fast-path scheduler, EngineRef for the reference
+	// one. Both produce byte-identical runs (test-enforced).
+	Engine string
+	// NoCoalesce disables charge coalescing, making every operation call
+	// the scheduler immediately. A verification knob: coalesced and
+	// uncoalesced runs must be byte-identical (test-enforced).
+	NoCoalesce bool
 }
 
 // NewMachine creates a machine over the given topology with default config.
@@ -99,12 +142,19 @@ func NewMachineConfig(topo *topology.Topology, cfg Config) *Machine {
 	if bcost == 0 {
 		bcost = 2000
 	}
+	switch cfg.Engine {
+	case "", EngineFast, EngineRef:
+	default:
+		panic(fmt.Sprintf("rma: unknown engine %q (have %q, %q)", cfg.Engine, EngineFast, EngineRef))
+	}
 	return &Machine{
-		topo:  topo,
-		lat:   lat,
-		seed:  seed,
-		limit: cfg.TimeLimit,
-		bcost: bcost,
+		topo:       topo,
+		lat:        lat,
+		seed:       seed,
+		limit:      cfg.TimeLimit,
+		bcost:      bcost,
+		engine:     cfg.Engine,
+		nocoalesce: cfg.NoCoalesce,
 	}
 }
 
@@ -149,22 +199,21 @@ func (m *Machine) Words() int { return m.words }
 
 // Run executes body once per rank as a simulated process and returns when
 // all processes finish. It may be called multiple times; window memory is
-// re-initialized before each run.
+// re-initialized before each run. Buffers (window memory, busy horizons,
+// watcher map, scheduler procs) are reused across runs.
 func (m *Machine) Run(body func(p *Proc)) error {
 	p := m.topo.Procs()
 	if m.words == 0 {
 		m.words = 1 // allow op-less smoke programs
 	}
-	m.mem = make([]int64, p*m.words)
-	m.busy = make([]int64, p)
-	m.watchers = make(map[int][]watcher)
+	m.reset(p)
 	for _, f := range m.inits {
 		f(m)
 	}
 	m.ran = true
 	m.stats = Stats{PerDistance: make([]OpCount, m.topo.MaxDistance()+1)}
-	sched := sim.New(sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost})
-	err := sched.Run(func(h *sim.Handle) {
+	simCfg := sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost}
+	wrap := func(h schedHandle) {
 		proc := &Proc{
 			m:    m,
 			rank: h.ID(),
@@ -172,9 +221,49 @@ func (m *Machine) Run(body func(p *Proc)) error {
 			rng:  rand.New(rand.NewSource(m.seed*1000003 + int64(h.ID()))),
 		}
 		body(proc)
-	})
-	m.maxClk = sched.MaxClock()
+		proc.flush() // publish coalesced time before exit
+	}
+	var eng engine
+	var err error
+	if m.engine == EngineRef {
+		sched := refsim.New(simCfg)
+		err = sched.Run(func(h *refsim.Handle) { wrap(h) })
+		eng = sched
+	} else {
+		sched := sim.New(simCfg)
+		err = sched.Run(func(h *sim.Handle) { wrap(h) })
+		eng = sched
+	}
+	m.maxClk = eng.MaxClock()
+	eng.Release()
 	return err
+}
+
+// reset prepares the per-run buffers, reusing prior allocations where the
+// shapes match (hot sweep loops run one machine many times).
+func (m *Machine) reset(p int) {
+	need := p * m.words
+	if cap(m.mem) >= need {
+		m.mem = m.mem[:need]
+		for i := range m.mem {
+			m.mem[i] = 0
+		}
+	} else {
+		m.mem = make([]int64, need)
+	}
+	if cap(m.busy) >= p {
+		m.busy = m.busy[:p]
+		for i := range m.busy {
+			m.busy[i] = 0
+		}
+	} else {
+		m.busy = make([]int64, p)
+	}
+	if m.watchers == nil {
+		m.watchers = make(map[int][]watcher)
+	} else {
+		clear(m.watchers)
+	}
 }
 
 // MaxClock returns the makespan (maximum virtual time, ns) of the last run.
@@ -195,7 +284,9 @@ func (m *Machine) index(rank, offset int) int {
 
 // charge computes the virtual duration of one op from origin clock to
 // completion, updates the target's busy-until, and returns the duration
-// plus the virtual time at which the operation lands at the target.
+// plus the virtual time at which the operation lands at the target. The
+// origin clock is the process's effective clock (published plus pending
+// coalesced charges), so coalescing never skews latency or occupancy.
 // Caller must be the sole running process (guaranteed by the scheduler).
 func (m *Machine) charge(origin *Proc, target int, atomic bool) (dur, land int64) {
 	d := m.topo.Distance(origin.rank, target)
@@ -210,7 +301,7 @@ func (m *Machine) charge(origin *Proc, target int, atomic bool) (dur, land int64
 	// RTT must not lose a nanosecond to truncation).
 	wireOut := rtt / 2
 	wireBack := rtt - wireOut
-	clock := origin.h.Clock()
+	clock := origin.Now()
 	start := clock + wireOut
 	if b := m.busy[target]; b > start {
 		start = b
@@ -244,7 +335,7 @@ func (m *Machine) wake(target, offset int, newVal, land int64) {
 	for _, w := range ws {
 		if w.cond(newVal) {
 			detect := m.lat.DataRTT[m.topo.Distance(w.p.rank, target)]
-			w.p.h.Wake(w.p.h, land+detect) // receiver only supplies the scheduler
+			w.p.h.WakeAt(land + detect)
 			continue
 		}
 		remaining = append(remaining, w)

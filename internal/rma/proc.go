@@ -3,8 +3,6 @@ package rma
 import (
 	"fmt"
 	"math/rand"
-
-	"rmalocks/internal/sim"
 )
 
 // Proc is the per-process handle of a simulated program: it carries the
@@ -14,8 +12,12 @@ import (
 type Proc struct {
 	m    *Machine
 	rank int
-	h    *sim.Handle
+	h    schedHandle
 	rng  *rand.Rand
+	// pending is virtual time charged but not yet published to the
+	// scheduler (charge coalescing, see spend). The process's effective
+	// clock is h.Clock() + pending.
+	pending int64
 }
 
 // Rank returns the process's rank, 0-based.
@@ -24,11 +26,52 @@ func (p *Proc) Rank() int { return p.rank }
 // Machine returns the machine this process runs on.
 func (p *Proc) Machine() *Machine { return p.m }
 
-// Now returns the process's virtual clock in nanoseconds.
-func (p *Proc) Now() int64 { return p.h.Clock() }
+// Now returns the process's effective virtual clock in nanoseconds,
+// including charges coalesced but not yet published to the scheduler.
+func (p *Proc) Now() int64 { return p.h.Clock() + p.pending }
 
 // Rand returns the process's deterministic random source.
 func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// spend charges d nanoseconds of virtual time with charge coalescing:
+// while the effective clock stays at or below the scheduler's fast-path
+// horizon the charge only accumulates in p.pending — the scheduler would
+// not have rescheduled at the intermediate point anyway, so deferring the
+// publication is invisible to every other process (none of them runs in
+// between, and nobody reads the holder's clock while it holds the token).
+// Once a charge crosses the horizon, the accumulated time flushes through
+// a single Advance, which performs the genuine handoff at exactly the
+// clock an uncoalesced run would have reached. Yield points that publish
+// unconditionally (SpinUntil's block, Barrier, process exit) call flush.
+func (p *Proc) spend(d int64) {
+	if d < 1 {
+		d = 1 // match sim.Advance's minimum step
+	}
+	if p.m.nocoalesce {
+		p.h.Advance(d)
+		return
+	}
+	p.pending += d
+	if p.h.Clock()+p.pending > p.h.Horizon() {
+		d = p.pending
+		p.pending = 0
+		p.h.Advance(d)
+	}
+}
+
+// flush publishes any coalesced-but-unpublished virtual time. At every
+// flush site the invariant "effective clock <= horizon" holds (spend
+// flushes whenever it is violated), so the Advance below never yields the
+// token; it only makes the published clock exact before the process
+// blocks, synchronizes, or exits — the points where other processes (or
+// the scheduler's barrier/wake logic) read it.
+func (p *Proc) flush() {
+	if p.pending != 0 {
+		d := p.pending
+		p.pending = 0
+		p.h.Advance(d)
+	}
+}
 
 // Put atomically places src in target's window at offset.
 func (p *Proc) Put(src int64, target, offset int) {
@@ -37,7 +80,7 @@ func (p *Proc) Put(src int64, target, offset int) {
 	p.m.stats.count(opPut, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, false)
 	p.m.wake(target, offset, src, land)
-	p.h.Advance(dur)
+	p.spend(dur)
 }
 
 // Get atomically fetches and returns the word at target's window offset.
@@ -47,7 +90,7 @@ func (p *Proc) Get(target, offset int) int64 {
 	v := p.m.mem[p.m.index(target, offset)]
 	p.m.stats.count(opGet, p.m.topo.Distance(p.rank, target))
 	dur, _ := p.m.charge(p, target, false)
-	p.h.Advance(dur)
+	p.spend(dur)
 	return v
 }
 
@@ -68,7 +111,7 @@ func (p *Proc) Accumulate(oprd int64, target, offset int, op Op) {
 	p.m.stats.count(opAcc, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, true)
 	p.m.wake(target, offset, nv, land)
-	p.h.Advance(dur)
+	p.spend(dur)
 }
 
 // FAO atomically applies op with operand oprd to the word at target's
@@ -89,7 +132,7 @@ func (p *Proc) FAO(oprd int64, target, offset int, op Op) int64 {
 	p.m.stats.count(opFAO, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, true)
 	p.m.wake(target, offset, nv, land)
-	p.h.Advance(dur)
+	p.spend(dur)
 	return prev
 }
 
@@ -107,7 +150,7 @@ func (p *Proc) CAS(src, cmp int64, target, offset int) int64 {
 	if changed {
 		p.m.wake(target, offset, src, land)
 	}
-	p.h.Advance(dur)
+	p.spend(dur)
 	return prev
 }
 
@@ -116,13 +159,13 @@ func (p *Proc) CAS(src, cmp int64, target, offset int) int64 {
 // bookkeeping cost; it is kept so protocols read exactly like the paper.
 func (p *Proc) Flush(target int) {
 	p.m.stats.count(opFlush, 0)
-	p.h.Advance(flushCost)
+	p.spend(flushCost)
 }
 
 // FlushAll completes all pending RMA calls of the process.
 func (p *Proc) FlushAll() {
 	p.m.stats.count(opFlush, 0)
-	p.h.Advance(flushCost)
+	p.spend(flushCost)
 }
 
 // flushCost is the virtual cost (ns) of a Flush; small but nonzero so that
@@ -143,12 +186,15 @@ func (p *Proc) SpinUntil(target, offset int, cond func(int64) bool) int64 {
 		// Fast path: one ordinary read observes the satisfying value.
 		p.m.stats.count(opGet, p.m.topo.Distance(p.rank, target))
 		dur, _ := p.m.charge(p, target, false)
-		p.h.Advance(dur)
+		p.spend(dur)
 		return v
 	}
-	// Register the watch before yielding the execution token: checking
-	// and registering happen in the same scheduler slice, so a granting
-	// write cannot slip between them (no lost wake-up).
+	// Publish coalesced time before blocking: while we are blocked, the
+	// granting write computes our wake-up clock against the published
+	// clock. flush never yields (see its comment), so the register/block
+	// pair below still happens in the same scheduler slice as the check
+	// above — no granting write can slip in between (no lost wake-up).
+	p.flush()
 	for {
 		p.m.watchers[idx] = append(p.m.watchers[idx], watcher{p: p, cond: cond})
 		p.h.Block()
@@ -165,11 +211,12 @@ func (p *Proc) SpinUntil(target, offset int, cond func(int64) bool) int64 {
 // Compute charges d nanoseconds of local computation (e.g., critical
 // section work) to the process's virtual clock.
 func (p *Proc) Compute(d int64) {
-	p.h.Advance(d)
+	p.spend(d)
 }
 
 // Barrier synchronizes all processes of the machine: everyone blocks until
 // the last arrives, then all clocks jump to the maximum plus a fixed cost.
 func (p *Proc) Barrier() {
+	p.flush() // arrival clocks must be exact before synchronizing
 	p.h.Barrier()
 }

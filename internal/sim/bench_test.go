@@ -1,10 +1,8 @@
 package sim
 
-// Benchmarks for the scheduler hot path: every simulated operation goes
-// through one push + popMin pair on the (clock, id) min-heap, and every
-// yield through the channel handoff in Advance. These pin a baseline for
-// future scheduler optimisations (run with `make bench`, compare with
-// benchstat).
+// Internal benchmarks for the specialized (non-container/heap, no-boxing)
+// min-heap behind the genuine-handoff slow path. The engine-level
+// benchmarks (fast path vs refsim) live in bench_engines_test.go.
 
 import (
 	"fmt"
@@ -24,8 +22,9 @@ func newBenchScheduler(n int) *Scheduler {
 	return s
 }
 
-// BenchmarkProcHeapPushPop measures one scheduling decision: pop the
-// minimum proc, charge it time, push it back.
+// BenchmarkProcHeapPushPop measures one genuine-handoff scheduling
+// decision on the specialized heap: pop the minimum proc, charge it
+// time, push it back.
 func BenchmarkProcHeapPushPop(b *testing.B) {
 	for _, n := range []int{16, 256, 4096} {
 		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
@@ -53,7 +52,7 @@ func BenchmarkProcHeapDrainRefill(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				drained = drained[:0]
-				for len(s.heap) > 0 {
+				for len(s.heap.a) > 0 {
 					drained = append(drained, s.popMin())
 				}
 				for _, p := range drained {
@@ -62,24 +61,4 @@ func BenchmarkProcHeapDrainRefill(b *testing.B) {
 			}
 		})
 	}
-}
-
-// BenchmarkSchedulerRun measures a whole simulation: procs × advances
-// virtual operations including goroutine handoff, the end-to-end cost a
-// workload harness run pays per simulated op.
-func BenchmarkSchedulerRun(b *testing.B) {
-	const procs, advances = 16, 200
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s := New(Config{Procs: procs})
-		err := s.Run(func(h *Handle) {
-			for k := 0; k < advances; k++ {
-				h.Advance(int64(k%7) + 1)
-			}
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(procs*advances), "ops/run")
 }

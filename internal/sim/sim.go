@@ -9,14 +9,32 @@
 // a fully deterministic sequential interleaving in virtual-time order,
 // independent of the host's core count and of the Go scheduler.
 //
+// # Token ownership and the fast path
+//
+// The scheduler is built around token ownership: exactly one process (the
+// token holder) executes at any time, and everything the holder does to its
+// own virtual clock is invisible to the other processes until the token is
+// handed over. When a process is dispatched it caches a horizon — the
+// largest clock it can reach while provably remaining the minimum
+// (heap-top clock adjusted for the (clock, id) tie-break, clamped to the
+// time limit). As long as an Advance stays at or below the horizon it is a
+// lock-free, heap-free, channel-free clock increment: two compares and an
+// add, zero allocations. Only a genuine handoff (crossing the horizon)
+// takes the mutex and touches the specialized min-heap. The horizon is
+// only ever written by the dispatching goroutine before the wake-channel
+// send (or by the holder itself via Wake), so the fast path needs no
+// atomics. The refsim subpackage preserves the original global-mutex
+// scheduler; the differential determinism suite in internal/workload
+// checks both engines produce byte-identical results.
+//
 // The package knows nothing about RMA; package rma layers windows, latency
 // and contention modeling on top of it.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"runtime/debug"
 	"sync"
 )
@@ -35,17 +53,22 @@ var ErrDeadlock = errors.New("sim: deadlock: all live processes blocked in barri
 type abortSignal struct{}
 
 type proc struct {
-	id      int
-	clock   int64
+	id    int
+	clock int64
+	// horizon is the fast-path bound: the largest clock this process can
+	// reach while provably keeping the execution token (see the package
+	// comment). Valid only while the process holds the token; written by
+	// the dispatching goroutine before the wake send.
+	horizon int64
 	wake    chan struct{}
 	inHeap  bool
-	heapIdx int
-	blocked bool // waiting in a barrier
+	blocked bool // waiting in a barrier or Block
 	exited  bool
 }
 
 // Handle is a per-process handle passed to the process body. Its methods
-// must only be called from that process's goroutine.
+// must only be called from that process's goroutine (except Wake/WakeAt,
+// which the current token holder calls on a blocked process's handle).
 type Handle struct {
 	s *Scheduler
 	p *proc
@@ -57,17 +80,25 @@ func (h *Handle) ID() int { return h.p.id }
 // Clock returns the process's current virtual time in nanoseconds.
 func (h *Handle) Clock() int64 { return h.p.clock }
 
+// Horizon returns the largest virtual clock the calling process can
+// advance to while provably keeping the execution token: any Advance that
+// leaves the clock at or below Horizon() is guaranteed not to reschedule.
+// Callers (package rma) use it to coalesce consecutive charges into one
+// Advance without changing the interleaving. Valid only while the calling
+// process holds the token; a Wake may shrink it.
+func (h *Handle) Horizon() int64 { return h.p.horizon }
+
 // Scheduler coordinates the virtual clocks of a fixed set of processes.
 type Scheduler struct {
 	mu        sync.Mutex
 	procs     []*proc
 	heap      procHeap
+	running   *proc   // current token holder (horizon cache owner)
 	live      int
 	arrived   []*proc // processes blocked in the current barrier
 	syncCost  int64   // virtual cost charged by a barrier
 	timeLimit int64   // 0 = unlimited
 	err       error
-	errOnce   sync.Once
 }
 
 // Config holds scheduler construction parameters.
@@ -82,21 +113,72 @@ type Config struct {
 	BarrierCost int64
 }
 
-// New creates a scheduler for cfg.Procs processes.
+// corePool recycles proc sets — the proc structs, their wake channels and
+// the heap/arrived backing arrays — across scheduler instances, so hot
+// sweep loops that build one machine per cell stop re-allocating them.
+// Release returns a scheduler's core to the pool.
+var corePool sync.Pool
+
+type schedCore struct {
+	procs   []*proc
+	heap    []*proc
+	arrived []*proc
+}
+
+// New creates a scheduler for cfg.Procs processes, drawing the proc set
+// from the package free list when one is available.
 func New(cfg Config) *Scheduler {
 	if cfg.Procs <= 0 {
 		panic(fmt.Sprintf("sim: Procs must be positive, got %d", cfg.Procs))
 	}
 	s := &Scheduler{
-		procs:     make([]*proc, cfg.Procs),
 		live:      cfg.Procs,
 		syncCost:  cfg.BarrierCost,
 		timeLimit: cfg.TimeLimit,
 	}
-	for i := range s.procs {
-		s.procs[i] = &proc{id: i, wake: make(chan struct{}, 1), heapIdx: -1}
+	if v := corePool.Get(); v != nil {
+		core := v.(*schedCore)
+		s.procs = resizeProcs(core.procs, cfg.Procs)
+		s.heap.a = core.heap[:0]
+		s.arrived = core.arrived[:0]
+	} else {
+		s.procs = resizeProcs(nil, cfg.Procs)
 	}
 	return s
+}
+
+// resizeProcs returns ps grown or truncated to n entries, resetting every
+// reused proc (and draining any stale teardown token from its wake
+// channel) and allocating the missing ones.
+func resizeProcs(ps []*proc, n int) []*proc {
+	if cap(ps) >= n {
+		ps = ps[:n]
+	} else {
+		ps = append(ps[:cap(ps)], make([]*proc, n-cap(ps))...)
+	}
+	for i, p := range ps {
+		if p == nil {
+			ps[i] = &proc{id: i, wake: make(chan struct{}, 1)}
+			continue
+		}
+		select {
+		case <-p.wake:
+		default:
+		}
+		p.id = i
+		p.clock, p.horizon = 0, 0
+		p.inHeap, p.blocked, p.exited = false, false, false
+	}
+	return ps
+}
+
+// Release resets the scheduler and returns its proc set to the package
+// free list. Only call it after Run has returned (and after any MaxClock
+// inspection); the scheduler must not be used afterwards.
+func (s *Scheduler) Release() {
+	core := &schedCore{procs: s.procs, heap: s.heap.a, arrived: s.arrived}
+	s.procs, s.heap.a, s.arrived, s.running = nil, nil, nil, nil
+	corePool.Put(core)
 }
 
 // Run executes body(handle) once per process, each in its own goroutine,
@@ -129,7 +211,7 @@ func (s *Scheduler) Run(body func(h *Handle)) error {
 	for _, p := range s.procs {
 		s.push(p)
 	}
-	s.sendWake(s.popMin())
+	s.sendWake(s.dispatchLocked())
 	s.mu.Unlock()
 	wg.Wait()
 	return s.err
@@ -160,10 +242,26 @@ func (s *Scheduler) MaxClock() int64 {
 // yields the execution token if another process now has the minimum clock.
 // d must be positive for operations inside spin loops, or the simulation
 // could livelock; Advance enforces d >= 1.
+//
+// Fast path: while the new clock stays at or below the cached horizon the
+// process provably remains the minimum, so the charge is a plain local
+// increment — no lock, no heap, no channel, no allocation.
 func (h *Handle) Advance(d int64) {
 	if d < 1 {
 		d = 1
 	}
+	p := h.p
+	if c := p.clock + d; c <= p.horizon {
+		p.clock = c
+		return
+	}
+	h.advanceSlow(d)
+}
+
+// advanceSlow is the genuine-handoff path of Advance: re-queue under the
+// lock and hand the token to the new minimum (possibly ourselves, when
+// only the time-limit clamp forced us off the fast path).
+func (h *Handle) advanceSlow(d int64) {
 	s := h.s
 	p := h.p
 	s.mu.Lock()
@@ -178,7 +276,7 @@ func (h *Handle) Advance(d int64) {
 		panic(abortSignal{})
 	}
 	s.push(p)
-	next := s.popMin()
+	next := s.dispatchLocked()
 	if next == p {
 		s.mu.Unlock()
 		return
@@ -203,7 +301,7 @@ func (h *Handle) Barrier() {
 	if len(s.arrived) == s.live {
 		// Last arriver releases everyone.
 		s.releaseBarrierLocked()
-		next := s.popMin()
+		next := s.dispatchLocked()
 		if next == p {
 			s.mu.Unlock()
 			return
@@ -214,12 +312,12 @@ func (h *Handle) Barrier() {
 		return
 	}
 	// Hand the token over; non-arrived live processes are all in the heap.
-	if len(s.heap) == 0 {
+	if len(s.heap.a) == 0 {
 		s.failLocked(ErrDeadlock)
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	next := s.popMin()
+	next := s.dispatchLocked()
 	s.sendWake(next)
 	s.mu.Unlock()
 	h.park()
@@ -239,12 +337,12 @@ func (h *Handle) Block() {
 		panic(abortSignal{})
 	}
 	p.blocked = true
-	if len(s.heap) == 0 {
+	if len(s.heap.a) == 0 {
 		s.failLocked(ErrDeadlock)
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	next := s.popMin()
+	next := s.dispatchLocked()
 	s.sendWake(next)
 	s.mu.Unlock()
 	h.park()
@@ -271,11 +369,14 @@ func (s *Scheduler) releaseBarrierLocked() {
 	s.arrived = s.arrived[:0]
 }
 
-// Wake makes the blocked process q runnable again with its virtual clock
-// advanced to at least clock. It must be called by the currently running
-// process; the caller keeps the execution token.
-func (h *Handle) Wake(q *Handle, clock int64) {
+// WakeAt makes the blocked process h runnable again with its virtual
+// clock advanced to at least clock. It must be called by the currently
+// running process, which keeps the execution token; because the woken
+// process may become the new next-minimum, the caller's fast-path
+// horizon is re-derived.
+func (h *Handle) WakeAt(clock int64) {
 	s := h.s
+	q := h.p
 	s.mu.Lock()
 	if s.err != nil {
 		// The simulation is tearing down: the target may already be
@@ -284,17 +385,29 @@ func (h *Handle) Wake(q *Handle, clock int64) {
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	if !q.p.blocked {
+	if q.exited {
 		s.mu.Unlock()
-		panic(fmt.Sprintf("sim: Wake of non-blocked process %d", q.p.id))
+		panic(fmt.Sprintf("sim: Wake of exited process %d (its body already returned)", q.id))
 	}
-	q.p.blocked = false
-	if clock > q.p.clock {
-		q.p.clock = clock
+	if !q.blocked {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("sim: Wake of non-blocked process %d", q.id))
 	}
-	s.push(q.p)
+	q.blocked = false
+	if clock > q.clock {
+		q.clock = clock
+	}
+	s.push(q)
+	if r := s.running; r != nil {
+		r.horizon = s.horizonForLocked(r)
+	}
 	s.mu.Unlock()
 }
+
+// Wake makes the blocked process q runnable again with its virtual clock
+// advanced to at least clock. It must be called by the currently running
+// process; the caller keeps the execution token.
+func (h *Handle) Wake(q *Handle, clock int64) { q.WakeAt(clock) }
 
 // park blocks the calling process until it is woken with the token.
 func (h *Handle) park() {
@@ -322,16 +435,18 @@ func (h *Handle) exit() {
 		s.mu.Unlock()
 		return
 	}
-	// A barrier that was waiting for us can now be complete.
-	if len(s.arrived) == s.live && s.live > 0 {
+	// A barrier that was waiting for us can now be complete. Invariant:
+	// s.live >= 1 here (the live == 0 case returned above), so a matching
+	// arrived count means every remaining live process is in the barrier.
+	if len(s.arrived) == s.live {
 		s.releaseBarrierLocked()
 	}
-	if len(s.heap) == 0 {
+	if len(s.heap.a) == 0 {
 		s.failLocked(ErrDeadlock)
 		s.mu.Unlock()
 		return
 	}
-	next := s.popMin()
+	next := s.dispatchLocked()
 	s.sendWake(next)
 	s.mu.Unlock()
 }
@@ -344,8 +459,12 @@ func (s *Scheduler) fail(err error) {
 	s.mu.Unlock()
 }
 
+// failLocked must be called with s.mu held (every failure site already
+// holds it, which is why no sync.Once is needed: first error wins).
 func (s *Scheduler) failLocked(err error) {
-	s.errOnce.Do(func() { s.err = err })
+	if s.err == nil {
+		s.err = err
+	}
 	for _, p := range s.procs {
 		if !p.exited {
 			select {
@@ -356,6 +475,37 @@ func (s *Scheduler) failLocked(err error) {
 	}
 }
 
+// dispatchLocked pops the new minimum, records it as the token holder and
+// caches its fast-path horizon. Caller must hold s.mu and send the wake
+// (unless the minimum is the caller itself).
+func (s *Scheduler) dispatchLocked() *proc {
+	next := s.popMin()
+	next.horizon = s.horizonForLocked(next)
+	s.running = next
+	return next
+}
+
+// horizonForLocked derives p's fast-path horizon from the current heap
+// top: p keeps the token while (clock, id) stays lexicographically at or
+// below the top's, so it may reach the top clock exactly when its id wins
+// the tie-break. The time limit is folded in so the fast path detects
+// limit crossings with the same single compare. Caller must hold s.mu;
+// p must not be in the heap.
+func (s *Scheduler) horizonForLocked(p *proc) int64 {
+	hz := int64(math.MaxInt64)
+	if len(s.heap.a) > 0 {
+		top := s.heap.a[0]
+		hz = top.clock
+		if p.id > top.id {
+			hz--
+		}
+	}
+	if s.timeLimit > 0 && hz > s.timeLimit {
+		hz = s.timeLimit
+	}
+	return hz
+}
+
 func (s *Scheduler) sendWake(p *proc) {
 	select {
 	case p.wake <- struct{}{}:
@@ -364,35 +514,63 @@ func (s *Scheduler) sendWake(p *proc) {
 	}
 }
 
-// heap helpers (min-heap on (clock, id)).
+// procHeap is a specialized binary min-heap on (clock, id). It replaces
+// container/heap on the scheduler hot path: direct *proc storage, no
+// interface boxing, inlinable sift loops.
+type procHeap struct {
+	a []*proc
+}
 
-type procHeap []*proc
-
-func (h procHeap) Len() int { return len(h) }
-func (h procHeap) Less(i, j int) bool {
-	if h[i].clock != h[j].clock {
-		return h[i].clock < h[j].clock
+func (h *procHeap) push(p *proc) {
+	a := append(h.a, p)
+	h.a = a
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		q := a[parent]
+		if p.clock > q.clock || (p.clock == q.clock && p.id > q.id) {
+			break
+		}
+		a[i] = q
+		i = parent
 	}
-	return h[i].id < h[j].id
+	a[i] = p
 }
-func (h procHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
-}
-func (h *procHeap) Push(x any) {
-	p := x.(*proc)
-	p.heapIdx = len(*h)
-	*h = append(*h, p)
-}
-func (h *procHeap) Pop() any {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
-	p.heapIdx = -1
-	*h = old[:n-1]
-	return p
+
+func (h *procHeap) pop() *proc {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = nil
+	a = a[:n]
+	h.a = a
+	if n == 0 {
+		return top
+	}
+	// Sift the former last element down from the root.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n {
+			lp, rp := a[l], a[r]
+			if rp.clock < lp.clock || (rp.clock == lp.clock && rp.id < lp.id) {
+				min = r
+			}
+		}
+		m := a[min]
+		if last.clock < m.clock || (last.clock == m.clock && last.id < m.id) {
+			break
+		}
+		a[i] = m
+		i = min
+	}
+	a[i] = last
+	return top
 }
 
 func (s *Scheduler) push(p *proc) {
@@ -400,11 +578,11 @@ func (s *Scheduler) push(p *proc) {
 		panic(fmt.Sprintf("sim: process %d pushed twice", p.id))
 	}
 	p.inHeap = true
-	heap.Push(&s.heap, p)
+	s.heap.push(p)
 }
 
 func (s *Scheduler) popMin() *proc {
-	p := heap.Pop(&s.heap).(*proc)
+	p := s.heap.pop()
 	p.inHeap = false
 	return p
 }

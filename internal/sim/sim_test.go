@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -251,6 +252,140 @@ func TestWakeAfterTimeLimitTeardown(t *testing.T) {
 	})
 	if !errors.Is(err, ErrTimeLimit) {
 		t.Fatalf("err=%v want ErrTimeLimit", err)
+	}
+}
+
+func TestWakeExitedPanicsDistinctly(t *testing.T) {
+	// Regression: waking a process whose body already returned used to
+	// report the misleading "Wake of non-blocked process"; exited must be
+	// distinguished from merely non-blocked.
+	s := New(Config{Procs: 2})
+	s.procs[1].exited = true
+	h0 := &Handle{s: s, p: s.procs[0]}
+	h1 := &Handle{s: s, p: s.procs[1]}
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("want string panic, got %T (%v)", r, r)
+		}
+		if !strings.Contains(msg, "exited") {
+			t.Fatalf("panic %q does not mention the process exited", msg)
+		}
+	}()
+	h0.Wake(h1, 100)
+}
+
+func TestWakeNonBlockedStillPanics(t *testing.T) {
+	s := New(Config{Procs: 2})
+	h0 := &Handle{s: s, p: s.procs[0]}
+	h1 := &Handle{s: s, p: s.procs[1]}
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok || !strings.Contains(msg, "non-blocked") {
+			t.Fatalf("want non-blocked panic, got %v", msg)
+		}
+	}()
+	h0.Wake(h1, 100)
+}
+
+func TestWakeShrinksHorizon(t *testing.T) {
+	// The woken process may become the new next-minimum: after Wake, the
+	// caller's fast path must hand over before running past the wake-up
+	// clock. Without the horizon re-derivation in WakeAt, process 1 would
+	// fast-path to 105 before process 0 runs at 8.
+	type ev struct {
+		id    int
+		clock int64
+	}
+	var log []ev // token-held appends only
+	s := New(Config{Procs: 2})
+	handles := make([]*Handle, 2)
+	err := s.Run(func(h *Handle) {
+		handles[h.ID()] = h
+		if h.ID() == 0 {
+			h.Block()
+			log = append(log, ev{0, h.Clock()})
+			return
+		}
+		h.Advance(5)
+		h.Wake(handles[0], 8)
+		h.Advance(100)
+		log = append(log, ev{1, h.Clock()})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ev{{0, 8}, {1, 105}}
+	if len(log) != 2 || log[0] != want[0] || log[1] != want[1] {
+		t.Fatalf("event order %v, want %v", log, want)
+	}
+}
+
+func TestExitCompletesBarrier(t *testing.T) {
+	// Exit-completes-barrier regression: when stragglers exit instead of
+	// arriving, the remaining processes' barrier must complete the moment
+	// the last non-arriving live process exits (invariant: past the
+	// live==0 early return, live >= 1, so arrived == live means everyone
+	// left is in the barrier).
+	const cost = 100
+	s := New(Config{Procs: 5, BarrierCost: cost})
+	clocks := make([]int64, 5)
+	err := s.Run(func(h *Handle) {
+		if h.ID() >= 3 { // two processes exit without arriving
+			h.Advance(int64(10 * (h.ID() + 1)))
+			return
+		}
+		h.Advance(int64(100 * (h.ID() + 1)))
+		h.Barrier()
+		clocks[h.ID()] = h.Clock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range clocks[:3] {
+		if c != 300+cost {
+			t.Errorf("proc %d clock=%d want %d", id, c, 300+cost)
+		}
+	}
+}
+
+func TestSchedulerReleaseReuse(t *testing.T) {
+	// Release returns procs (and their wake channels) to the pool; a
+	// later New must produce a fully reset scheduler with identical
+	// behavior — including after an errored run, whose teardown leaves
+	// stale tokens in the wake channels.
+	run := func() (int64, error) {
+		s := New(Config{Procs: 8})
+		err := s.Run(func(h *Handle) {
+			for i := 0; i < 50; i++ {
+				h.Advance(int64(1 + (h.ID()*7+i)%13))
+			}
+		})
+		max := s.MaxClock()
+		s.Release()
+		return max, err
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An errored run in between must not poison the pool.
+	s := New(Config{Procs: 8, TimeLimit: 100})
+	if err := s.Run(func(h *Handle) {
+		for {
+			h.Advance(50)
+		}
+	}); !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("err=%v want ErrTimeLimit", err)
+	}
+	s.Release()
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("pooled rerun diverged: MaxClock %d vs %d", a, b)
 	}
 }
 

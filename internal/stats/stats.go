@@ -24,13 +24,23 @@ type Summary struct {
 }
 
 // Summarize computes a Summary; it returns a zero Summary for an empty
-// sample.
+// sample. The input is left untouched (it is copied before sorting).
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
+	return SummarizeInPlace(s)
+}
+
+// SummarizeInPlace is Summarize without the defensive copy: it sorts xs
+// in place. Hot report paths that own their sample buffers (and recycle
+// them) use it to avoid one allocation per summary.
+func SummarizeInPlace(s []float64) Summary {
+	if len(s) == 0 {
+		return Summary{}
+	}
 	sort.Float64s(s)
 	var sum, sq float64
 	for _, x := range s {

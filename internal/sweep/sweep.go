@@ -179,6 +179,10 @@ type Grid struct {
 	ThinkJitterNs int64
 	// Params tunes the lock schemes.
 	Params workload.SchemeParams
+	// Engine selects the scheduler implementation for every cell ("" or
+	// "fast" = token-owned fast path, "ref" = reference engine); the
+	// workbench -engine flag exposes it for ad-hoc differential sweeps.
+	Engine string
 }
 
 func (g Grid) fill() Grid {
@@ -250,6 +254,7 @@ func (g Grid) cell(scheme, wname, pname string, p int) Cell {
 				Profile:      prof,
 				Workload:     wl,
 				Params:       g.Params,
+				Engine:       g.Engine,
 			}, nil
 		},
 	}

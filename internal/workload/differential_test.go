@@ -1,0 +1,152 @@
+package workload_test
+
+// Differential determinism suite: the token-owned fast-path scheduler
+// (internal/sim) against the reference engine (internal/sim/refsim), and
+// charge coalescing (internal/rma) against uncoalesced charging. For
+// every lock scheme × contention profile cell, all four engine/coalesce
+// combinations must produce byte-identical reports and equal MaxClock —
+// the fast path and the coalescer are pure optimisations, never allowed
+// to change a single virtual-time decision. Run under -race in CI to
+// also exercise the fast path's lock-free clock increments.
+
+import (
+	"fmt"
+	"testing"
+
+	"rmalocks/internal/rma"
+	"rmalocks/internal/workload"
+)
+
+// diffProfiles returns fresh instances of every contention generator
+// (profiles are stateless values, but build them per call anyway).
+func diffProfiles() []workload.Profile {
+	return []workload.Profile{
+		workload.Uniform{FW: 0.2, NumLocks: 4},
+		workload.NewZipf(4, 1.2, 0.3),
+		workload.Bursty{FW: 0.3, Desync: true},
+		workload.RWSweep{FWStart: 0, FWEnd: 1, Span: 12},
+	}
+}
+
+type engineCase struct {
+	name       string
+	engine     string
+	noCoalesce bool
+}
+
+var engineCases = []engineCase{
+	{"fast", rma.EngineFast, false},
+	{"fast-nocoalesce", rma.EngineFast, true},
+	{"ref", rma.EngineRef, false},
+	{"ref-nocoalesce", rma.EngineRef, true},
+}
+
+func TestDifferentialEnginesAllSchemesProfiles(t *testing.T) {
+	for _, scheme := range workload.Schemes {
+		for pi := range diffProfiles() {
+			scheme, pi := scheme, pi
+			t.Run(fmt.Sprintf("%s/%s", scheme, diffProfiles()[pi].Name()), func(t *testing.T) {
+				t.Parallel()
+				var baseFP string
+				var baseClock int64
+				for i, ec := range engineCases {
+					spec := workload.Spec{
+						Scheme: scheme,
+						P:      16, ProcsPerNode: 4,
+						Seed:     11,
+						Iters:    12,
+						Profile:  diffProfiles()[pi],
+						Workload: &workload.SharedOp{},
+						Engine:   ec.engine, NoCoalesce: ec.noCoalesce,
+					}
+					rep, err := workload.Run(spec)
+					if err != nil {
+						t.Fatalf("%s: %v", ec.name, err)
+					}
+					fp := rep.Fingerprint()
+					if i == 0 {
+						baseFP, baseClock = fp, rep.MaxClock
+						continue
+					}
+					if fp != baseFP {
+						t.Errorf("%s diverged from %s:\n a: %s\n b: %s",
+							ec.name, engineCases[0].name, baseFP, fp)
+					}
+					if rep.MaxClock != baseClock {
+						t.Errorf("%s MaxClock %d != %d", ec.name, rep.MaxClock, baseClock)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialDHT pins the engines against each other on the DHT
+// workload (Skip rank, sharded locks): the heaviest user of SpinUntil
+// wake-ups and therefore of the horizon-shrink path.
+func TestDifferentialDHT(t *testing.T) {
+	mk := func(engine string, noCoalesce bool) workload.Spec {
+		return workload.Spec{
+			Scheme: workload.SchemeRMARW,
+			P:      8, ProcsPerNode: 4,
+			Seed:  5,
+			Iters: 10, Warmup: -1,
+			Profile:  workload.Uniform{FW: 0.4},
+			Workload: &workload.DHTOps{Slots: 64, Cells: 256},
+			Skip:     func(rank, procs int) bool { return rank == 0 },
+			Engine:   engine, NoCoalesce: noCoalesce,
+		}
+	}
+	var baseFP string
+	for i, ec := range engineCases {
+		rep, err := workload.Run(mk(ec.engine, ec.noCoalesce))
+		if err != nil {
+			t.Fatalf("%s: %v", ec.name, err)
+		}
+		if i == 0 {
+			baseFP = rep.Fingerprint()
+			continue
+		}
+		if fp := rep.Fingerprint(); fp != baseFP {
+			t.Errorf("%s diverged:\n a: %s\n b: %s", ec.name, baseFP, fp)
+		}
+	}
+}
+
+// TestDifferentialWorkloads sweeps the remaining critical-section bodies
+// (empty, counter) on both engines at a writer-heavy mix.
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, wname := range []string{"empty", "counter"} {
+		wname := wname
+		t.Run(wname, func(t *testing.T) {
+			t.Parallel()
+			var baseFP string
+			for i, ec := range engineCases {
+				wl, err := workload.ByName(wname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec := workload.Spec{
+					Scheme: workload.SchemeRMAMCS,
+					P:      16, ProcsPerNode: 4,
+					Seed:     3,
+					Iters:    10,
+					Profile:  workload.Uniform{FW: 1},
+					Workload: wl,
+					Engine:   ec.engine, NoCoalesce: ec.noCoalesce,
+				}
+				rep, err := workload.Run(spec)
+				if err != nil {
+					t.Fatalf("%s: %v", ec.name, err)
+				}
+				if i == 0 {
+					baseFP = rep.Fingerprint()
+					continue
+				}
+				if fp := rep.Fingerprint(); fp != baseFP {
+					t.Errorf("%s diverged:\n a: %s\n b: %s", ec.name, baseFP, fp)
+				}
+			}
+		})
+	}
+}

@@ -125,6 +125,15 @@ type Spec struct {
 	// participate in the start barrier and then exit, like the paper's
 	// DHT volume host).
 	Skip func(rank, procs int) bool
+
+	// Engine selects the scheduler implementation: "" or rma.EngineFast
+	// for the token-owned fast-path scheduler, rma.EngineRef for the
+	// reference one. The differential determinism suite runs every cell
+	// on both and requires byte-identical reports.
+	Engine string
+	// NoCoalesce disables RMA charge coalescing (verification knob; see
+	// rma.Config.NoCoalesce).
+	NoCoalesce bool
 }
 
 func (s *Spec) fill() {
@@ -165,7 +174,8 @@ func (s *Spec) fill() {
 func Run(spec Spec) (Report, error) {
 	spec.fill()
 	topo := topology.ForProcs(spec.P, spec.ProcsPerNode)
-	cfg := rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit}
+	cfg := rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit,
+		Engine: spec.Engine, NoCoalesce: spec.NoCoalesce}
 	if spec.Latency != nil {
 		lat := spec.Latency(topo.MaxDistance())
 		cfg.Latency = &lat
@@ -187,9 +197,9 @@ func Run(spec Spec) (Report, error) {
 	spec.Workload.Setup(m)
 
 	procs := m.Procs()
-	rlat := make([][]float64, procs)
-	wlat := make([][]float64, procs)
-	ends := make([]int64, procs)
+	bufs := getRunBufs(procs)
+	defer putRunBufs(bufs)
+	rlat, wlat, ends := bufs.rlat, bufs.wlat, bufs.ends
 	var start int64
 
 	runErr := m.Run(func(p *rma.Proc) {
@@ -201,7 +211,7 @@ func Run(spec Spec) (Report, error) {
 			}
 			return
 		}
-		var rl, wl []float64
+		rl, wl := rlat[r][:0], wlat[r][:0] // reuse pooled capacity
 		step := func(it int, measured bool) {
 			in := spec.Profile.Next(p, it)
 			t0 := p.Now()
@@ -249,7 +259,7 @@ func Run(spec Spec) (Report, error) {
 			specScheme(spec), spec.Workload.Name(), spec.Profile.Name(), spec.P, runErr)
 	}
 
-	rep := summarize(spec, m, start, ends, rlat, wlat)
+	rep := summarize(spec, m, start, bufs)
 	rep.DirectEntries = directEntries(set)
 	spec.Workload.Extract(m, &rep)
 	return rep, nil

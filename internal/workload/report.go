@@ -3,10 +3,45 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rmalocks/internal/rma"
 	"rmalocks/internal/stats"
 )
+
+// runBufs holds the per-rank sample buffers of one harness run plus the
+// summary scratch space. A sync.Pool recycles them across runs, so hot
+// sweep loops (repeated cells, -check re-runs, benchmark iterations)
+// stop re-allocating report buffers. Nothing in a Report aliases a
+// runBufs, so pooling cannot change results.
+type runBufs struct {
+	rlat, wlat [][]float64
+	ends       []int64
+	all, rs, ws []float64
+}
+
+var runBufPool = sync.Pool{New: func() any { return &runBufs{} }}
+
+// getRunBufs returns a pooled buffer set sized for procs ranks, with
+// ends zeroed and every per-rank sample slice emptied (capacity kept).
+func getRunBufs(procs int) *runBufs {
+	b := runBufPool.Get().(*runBufs)
+	if cap(b.rlat) < procs {
+		b.rlat = make([][]float64, procs)
+		b.wlat = make([][]float64, procs)
+		b.ends = make([]int64, procs)
+	} else {
+		b.rlat, b.wlat, b.ends = b.rlat[:procs], b.wlat[:procs], b.ends[:procs]
+	}
+	for i := 0; i < procs; i++ {
+		b.rlat[i] = b.rlat[i][:0]
+		b.wlat[i] = b.wlat[i][:0]
+		b.ends[i] = 0
+	}
+	return b
+}
+
+func putRunBufs(b *runBufs) { runBufPool.Put(b) }
 
 // Report is the unified outcome of one harness run.
 type Report struct {
@@ -74,13 +109,14 @@ func (r Report) Fingerprint() string {
 		r.MakespanMs, r.MaxClock, r.RemoteOps, r.DirectEntries, extra)
 }
 
-// summarize assembles a Report from the raw per-rank samples.
-func summarize(spec Spec, m *rma.Machine, start int64, ends []int64, rlat, wlat [][]float64) Report {
+// summarize assembles a Report from the raw per-rank samples in b. The
+// summary scratch slices live in b too (SummarizeInPlace sorts them);
+// their grown capacity is kept for the next pooled run.
+func summarize(spec Spec, m *rma.Machine, start int64, b *runBufs) Report {
 	var end int64
 	var reads, writes int64
-	all := make([]float64, 0, 1024)
-	rs := make([]float64, 0, 1024)
-	ws := make([]float64, 0, 1024)
+	rlat, wlat, ends := b.rlat, b.wlat, b.ends
+	all, rs, ws := b.all[:0], b.rs[:0], b.ws[:0]
 	participants := 0
 	for r := range ends {
 		if spec.Skip != nil && spec.Skip(r, len(ends)) {
@@ -97,6 +133,7 @@ func summarize(spec Spec, m *rma.Machine, start int64, ends []int64, rlat, wlat 
 		all = append(all, rlat[r]...)
 		all = append(all, wlat[r]...)
 	}
+	b.all, b.rs, b.ws = all, rs, ws
 	ops := reads + writes
 	return Report{
 		Scheme:         specScheme(spec),
@@ -108,9 +145,9 @@ func summarize(spec Spec, m *rma.Machine, start int64, ends []int64, rlat, wlat 
 		Writes:         writes,
 		WarmupOps:      int64(spec.Warmup * participants),
 		ThroughputMops: throughputMops(ops, end-start),
-		Latency:        stats.Summarize(all),
-		ReadLatency:    stats.Summarize(rs),
-		WriteLatency:   stats.Summarize(ws),
+		Latency:        stats.SummarizeInPlace(all),
+		ReadLatency:    stats.SummarizeInPlace(rs),
+		WriteLatency:   stats.SummarizeInPlace(ws),
 		MakespanMs:     float64(end-start) / 1e6,
 		MaxClock:       m.MaxClock(),
 		RemoteOps:      m.Stats().Remote(),

@@ -69,6 +69,10 @@ type MachineSpec struct {
 	// TimeLimit aborts a run after this much virtual time (ns); zero
 	// means no limit.
 	TimeLimit int64
+	// Engine selects the scheduler implementation: "" or "fast" for the
+	// token-owned fast-path scheduler, "ref" for the reference engine
+	// (differential verification; see DESIGN.md).
+	Engine string
 }
 
 // NewMachine builds a simulated machine from spec using the calibrated
@@ -86,7 +90,7 @@ func NewMachine(spec MachineSpec) *Machine {
 	} else {
 		topo = topology.TwoLevel(spec.Nodes, spec.ProcsPerNode)
 	}
-	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit})
+	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit, Engine: spec.Engine})
 }
 
 // NewMachineForProcs builds a two-level machine hosting exactly p
