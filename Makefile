@@ -4,7 +4,7 @@ GO ?= go
 # `make compare` (re-run + per-cell diff against it).
 SWEEP_FLAGS = -profiles uniform,zipf,bursty,sweep -ps 16,32,64
 
-.PHONY: build test race bench bench-smoke grid sweep compare clean
+.PHONY: build test race bench bench-trajectory bench-smoke grid sweep compare trace clean
 
 build:
 	$(GO) build ./...
@@ -15,34 +15,35 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The PR number stamped into the persisted benchmark trajectory
-# (BENCH_$(BENCH_PR).json); bump it alongside new perf PRs.
-BENCH_PR = 3
-
 # Benchmarks are benchstat-compatible: `make bench`, change code,
 # `make bench` again, then `benchstat` the two results/bench.txt copies.
-# Additionally persists the machine-readable trajectory BENCH_3.json
-# (ns/op + allocs/op for the scheduler, harness and sweep benchmarks;
-# schema in DESIGN.md) so future PRs can gate on it.
+# Re-running bench never touches the persisted trajectory files — mint
+# one explicitly with `make bench-trajectory` (once per perf PR).
 # Redirect-then-cat instead of `| tee`: a pipe would mask a failing
 # benchmark behind tee's exit status and persist a truncated trajectory.
 bench:
 	@mkdir -p results
 	$(GO) test -run '^$$' -bench . -benchmem ./... > results/bench.txt
 	@cat results/bench.txt
-	$(GO) run ./cmd/benchjson -pr $(BENCH_PR) -in results/bench.txt \
-		-out BENCH_$(BENCH_PR).json \
+
+# Persist the machine-readable trajectory BENCH_<n>.json (ns/op +
+# allocs/op for the scheduler, harness and sweep benchmarks; schema in
+# DESIGN.md): benchjson -auto numbers the file one past the highest
+# existing index, so every perf PR grows the trajectory set without
+# hardcoding the next number. Run once per PR, after `make bench`.
+bench-trajectory: bench
+	$(GO) run ./cmd/benchjson -auto -in results/bench.txt \
 		-packages internal/sim,internal/workload,internal/sweep
 
 # Short bench pass over the perf-critical packages only; CI's bench-smoke
-# job runs this and uploads both files as an artifact. Single source of
-# the trajectory PR number (BENCH_PR above).
+# job runs this and uploads both files as an artifact. The recorded PR
+# number is derived from the repository's trajectory files (next index).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100x \
 		./internal/sim/... ./internal/workload/ ./internal/sweep/ \
 		> bench-smoke.txt
 	@cat bench-smoke.txt
-	$(GO) run ./cmd/benchjson -pr $(BENCH_PR) -in bench-smoke.txt -out bench-smoke.json
+	$(GO) run ./cmd/benchjson -in bench-smoke.txt -out bench-smoke.json
 
 # One full scheme × workload × profile grid with reproducibility check.
 # Redirect-then-cat instead of `| tee`: a pipe would mask a failing
@@ -61,6 +62,15 @@ sweep:
 # Re-run the same grid and diff it per cell against the baseline.
 compare:
 	$(GO) run ./cmd/workbench $(SWEEP_FLAGS) -baseline results/sweep.json
+
+# Capture an event trace of one contended cell per scheme pair
+# (Perfetto-loadable Chrome JSON under results/) and summarize it:
+# Jain fairness, handoff-locality histogram, wait tails.
+trace:
+	@mkdir -p results
+	$(GO) run ./cmd/workbench -schemes RMA-MCS,D-MCS -workloads empty \
+		-profiles uniform -p 32 -iters 40 -fw 1 -trace results/trace.json
+	$(GO) run ./cmd/traceview results/trace_*.json
 
 clean:
 	rm -rf results bench-smoke.txt bench-smoke.json

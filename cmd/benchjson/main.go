@@ -8,8 +8,15 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -pr 3 -out BENCH_3.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -auto
+//	go run ./cmd/benchjson -auto -in results/bench.txt
 //	go run ./cmd/benchjson -pr 3 -in results/bench.txt -out BENCH_3.json
+//
+// -auto numbers the output itself: it writes BENCH_<n>.json for n one
+// past the highest existing trajectory index in -dir, so `make bench`
+// grows the trajectory file set without anyone hardcoding the next
+// number. When -pr is omitted it defaults to that same derived index
+// (also without -auto, e.g. for CI's bench-smoke.json artifact).
 //
 // Lines that are not benchmark results (pkg: headers are tracked for
 // attribution) are ignored, so the raw `tee` output of `make bench` can
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -59,15 +67,33 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		pr   = flag.Int("pr", 0, "PR number recorded in the trajectory entry (required)")
+		pr   = flag.Int("pr", 0, "PR number recorded in the trajectory entry (default: the next trajectory index in -dir)")
 		in   = flag.String("in", "", "input file (default stdin)")
-		out  = flag.String("out", "", "output file (default stdout)")
+		out  = flag.String("out", "", "output file (default stdout; exclusive with -auto)")
+		auto = flag.Bool("auto", false, "write BENCH_<n>.json in -dir, n = one past the highest existing index")
+		dir  = flag.String("dir", ".", "directory scanned for existing BENCH_<n>.json trajectories")
 		pkgs = flag.String("packages", "", "comma-separated package-substring filter (default: keep all)")
 	)
 	flag.Parse()
-	if *pr <= 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: -pr is required (e.g. -pr 3)")
+	if *auto && *out != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -auto and -out are mutually exclusive")
 		os.Exit(2)
+	}
+	if *pr <= 0 {
+		n, err := nextBenchIndex(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		*pr = n
+	}
+	if *auto {
+		*out = filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", *pr))
+		if _, err := os.Stat(*out); err == nil {
+			// An explicit -pr can point at an occupied slot; never
+			// overwrite a persisted trajectory.
+			fmt.Fprintf(os.Stderr, "benchjson: %s already exists (pass a different -pr)\n", *out)
+			os.Exit(2)
+		}
 	}
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -161,6 +187,30 @@ func parseCols(b *Benchmark, rest string) error {
 		}
 	}
 	return nil
+}
+
+// benchName matches persisted trajectory files.
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextBenchIndex returns one past the highest BENCH_<n>.json index in
+// dir (1 when none exist), so the trajectory file set grows
+// monotonically without hardcoded names.
+func nextBenchIndex(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("benchjson: scan %s: %w", dir, err)
+	}
+	max := 0
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1, nil
 }
 
 func keep(pkg string, filter []string) bool {

@@ -1,0 +1,199 @@
+// Command traceview summarizes trace files exported by `workbench
+// -trace` (Chrome trace-event JSON, the same files Perfetto loads): it
+// rebuilds the machine topology from the embedded metadata and prints
+// the per-cell analyses of internal/trace — acquisitions and Jain
+// fairness per rank, the handoff-locality histogram (the paper's
+// locality claim, measured), acquire-wait percentiles, peak wait-queue
+// depth, and RMA op counts.
+//
+// Usage:
+//
+//	workbench -schemes RMA-MCS,D-MCS -p 32 -trace results/trace.json
+//	traceview results/trace*.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rmalocks/internal/stats"
+	"rmalocks/internal/topology"
+	"rmalocks/internal/trace"
+)
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+func main() {
+	top := flag.Int("top", 4, "number of slowest ranks to list by P99 acquire wait")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-top n] trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := view(path, *top); err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func metaInt(m map[string]any, key string) int {
+	if v, ok := m[key].(float64); ok {
+		return int(v)
+	}
+	return 0
+}
+
+func view(path string, top int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("not a trace-event file: %w", err)
+	}
+	label, _ := f.OtherData["label"].(string)
+	p, ppn := metaInt(f.OtherData, "p"), metaInt(f.OtherData, "ppn")
+	if p <= 0 || ppn <= 0 {
+		return fmt.Errorf("missing machine shape in otherData (p=%d ppn=%d)", p, ppn)
+	}
+	topo := topology.ForProcs(p, ppn)
+
+	type hold struct {
+		tid  int
+		lock float64
+		c    float64 // acquire clock (ns)
+	}
+	var holds []hold
+	acquired := make([]int64, p)
+	var waits []float64
+	perRank := make([][]float64, p)
+	type edge struct {
+		ts float64
+		d  int
+	}
+	var depth []edge
+	ops := map[string]int64{}
+
+	for _, e := range f.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Cat == "lock":
+			if e.Tid >= 0 && e.Tid < p {
+				acquired[e.Tid]++
+			}
+			l, _ := e.Args["lock"].(float64)
+			c, _ := e.Args["c"].(float64)
+			holds = append(holds, hold{tid: e.Tid, lock: l, c: c})
+		case e.Ph == "X" && e.Cat == "wait":
+			waits = append(waits, e.Dur)
+			if e.Tid >= 0 && e.Tid < p {
+				perRank[e.Tid] = append(perRank[e.Tid], e.Dur)
+			}
+			depth = append(depth, edge{e.Ts, 1}, edge{e.Ts + e.Dur, -1})
+		case e.Ph == "i" && e.Cat == "rma":
+			ops[e.Name]++
+		}
+	}
+
+	// Handoff locality: consecutive holders per lock, ordered by the
+	// raw acquire clock embedded in args.c.
+	sort.SliceStable(holds, func(i, j int) bool { return holds[i].c < holds[j].c })
+	hist := make([]int64, topo.MaxDistance()+1)
+	last := map[float64]int{}
+	var handoffs int64
+	for _, h := range holds {
+		if prev, ok := last[h.lock]; ok && h.tid >= 0 && h.tid < p {
+			hist[topo.Distance(prev, h.tid)]++
+			handoffs++
+		}
+		last[h.lock] = h.tid
+	}
+
+	sort.Slice(depth, func(i, j int) bool { return depth[i].ts < depth[j].ts })
+	cur, maxDepth := 0, 0
+	for _, d := range depth {
+		cur += d.d
+		if cur > maxDepth {
+			maxDepth = cur
+		}
+	}
+
+	fmt.Printf("== %s: %s (P=%d, ppn=%d, %s)\n", path, label, p, ppn, topo)
+	var totalAcq int64
+	for _, c := range acquired {
+		totalAcq += c
+	}
+	fmt.Printf("events=%d acquisitions=%d Jain-fairness=%.4f max-wait-depth=%d\n",
+		len(f.TraceEvents), totalAcq, trace.Jain(acquired), maxDepth)
+	if handoffs > 0 {
+		fmt.Printf("handoff locality (distance: count, share):")
+		for d, c := range hist {
+			fmt.Printf("  d%d: %d (%.1f%%)", d, c, 100*float64(c)/float64(handoffs))
+		}
+		intra := int64(0)
+		for d := 0; d < topo.MaxDistance() && d < len(hist); d++ {
+			intra += hist[d]
+		}
+		fmt.Printf("  intra-element=%.1f%%\n", 100*float64(intra)/float64(handoffs))
+	}
+	if len(waits) > 0 {
+		s := stats.Summarize(waits)
+		fmt.Printf("acquire wait [µs]: mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f (n=%d)\n",
+			s.Mean, s.P50, s.P95, s.P99, s.Max, s.N)
+		type rankTail struct {
+			rank int
+			s    stats.Summary
+		}
+		var tails []rankTail
+		for r, ws := range perRank {
+			if len(ws) > 0 {
+				tails = append(tails, rankTail{r, stats.Summarize(ws)})
+			}
+		}
+		sort.Slice(tails, func(i, j int) bool { return tails[i].s.P99 > tails[j].s.P99 })
+		if top > len(tails) {
+			top = len(tails)
+		}
+		if top > 0 {
+			fmt.Printf("slowest ranks by P99 wait:")
+			for _, t := range tails[:top] {
+				fmt.Printf("  r%d: p99=%.2fµs (n=%d)", t.rank, t.s.P99, t.s.N)
+			}
+			fmt.Println()
+		}
+	}
+	if len(ops) > 0 {
+		names := make([]string, 0, len(ops))
+		for n := range ops {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("rma ops:")
+		for _, n := range names {
+			fmt.Printf("  %s=%d", n, ops[n])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}

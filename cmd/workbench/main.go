@@ -12,6 +12,8 @@
 //	workbench -p 128 -iters 100 -seed 3 -check -csv -j 4
 //	workbench -out results/sweep.json       # persist a baseline
 //	workbench -baseline results/sweep.json  # diff against it (perf gate)
+//	workbench -schemes RMA-MCS -p 32 -trace out.json   # capture + export a trace
+//	                                        # (Perfetto-loadable; see cmd/traceview)
 //
 // Every run is a deterministic function of the seed; -check re-runs each
 // cell and verifies the reports are byte-identical.
@@ -21,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -29,6 +32,7 @@ import (
 
 	"rmalocks/internal/rma"
 	"rmalocks/internal/sweep"
+	"rmalocks/internal/trace"
 	"rmalocks/internal/workload"
 )
 
@@ -40,6 +44,7 @@ type runOpts struct {
 	out, baseline    string
 	tol              float64
 	cpuprof, memprof string
+	trace, tracecsv  string
 }
 
 func main() {
@@ -64,6 +69,8 @@ func main() {
 		engine    = flag.String("engine", "", "scheduler engine: '' or 'fast' (token-owned fast path), 'ref' (reference; differential runs)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 		memprof   = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
+		traceOut  = flag.String("trace", "", "capture event traces and export Chrome trace-event JSON (Perfetto-loadable; summarize with traceview); multi-cell grids get one file per cell")
+		tracecsv  = flag.String("tracecsv", "", "capture event traces and export raw event CSV; multi-cell grids get one file per cell")
 	)
 	flag.Parse()
 
@@ -89,6 +96,12 @@ func main() {
 		jobs: *jobs, check: *check, csv: *csv,
 		out: *out, baseline: *baseline, tol: *tol,
 		cpuprof: *cpuprof, memprof: *memprof,
+		trace: *traceOut, tracecsv: *tracecsv,
+	}
+	if opts.trace != "" || opts.tracecsv != "" {
+		// Tracing a sweep fills the per-cell Jain/locality columns and
+		// keeps each cell's raw sink for export.
+		opts.grid.Trace = trace.ClassSemantic
 	}
 	// The work happens inside run so that its deferred profile writers
 	// always execute; os.Exit only fires out here, after they flushed.
@@ -160,6 +173,18 @@ func run(opts runOpts) int {
 		}
 		fmt.Fprintf(os.Stderr, "[baseline saved to %s]\n", opts.out)
 	}
+	if opts.trace != "" {
+		if err := exportTraces(opts.trace, results, grid.ProcsPerNode, true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if opts.tracecsv != "" {
+		if err := exportTraces(opts.tracecsv, results, grid.ProcsPerNode, false); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	if opts.baseline != "" {
 		if err := diffBaseline(opts.baseline, results, opts.tol); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -195,6 +220,49 @@ func diffBaseline(path string, results []sweep.CellResult, tolPct float64) error
 				d.Key, d.MopsPct, d.BaseMops, d.CurMops)
 		}
 		return fmt.Errorf("workbench: %d cell(s) regressed beyond %.2f%%", len(regs), tolPct)
+	}
+	return nil
+}
+
+// exportTraces writes one trace file per traced cell: the given path
+// for a single-cell grid, otherwise the path with an index + cell-key
+// slug inserted before the extension. chrome selects the trace-event
+// JSON exporter (Perfetto), otherwise raw event CSV.
+func exportTraces(path string, results []sweep.CellResult, ppn int, chrome bool) error {
+	traced := results[:0:0]
+	for _, r := range results {
+		if r.Trace != nil {
+			traced = append(traced, r)
+		}
+	}
+	if len(traced) == 0 {
+		return fmt.Errorf("workbench: no traced cells to export to %s", path)
+	}
+	for i, r := range traced {
+		p := path
+		if len(traced) > 1 {
+			ext := filepath.Ext(path)
+			slug := strings.NewReplacer("/", "-", " ", "").Replace(
+				fmt.Sprintf("%s_%s_%s_P%d", r.Key.Scheme, r.Key.Workload, r.Key.Profile, r.Key.P))
+			p = fmt.Sprintf("%s_%02d_%s%s", strings.TrimSuffix(path, ext), i, slug, ext)
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		events := r.Trace.Events()
+		if chrome {
+			err = trace.WriteChrome(f, events, trace.Meta{Label: r.Key.String(), P: r.Key.P, PPN: ppn})
+		} else {
+			err = trace.WriteCSV(f, events)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("workbench: export %s: %w", p, err)
+		}
+		fmt.Fprintf(os.Stderr, "[trace: %d events of cell %s written to %s]\n", len(events), r.Key, p)
 	}
 	return nil
 }

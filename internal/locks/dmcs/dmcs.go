@@ -22,6 +22,7 @@ const (
 type Lock struct {
 	base     int
 	tailRank int
+	id       int // trace lock id (Machine.RegisterLock)
 
 	// Acquires counts lock acquisitions (single-runner safe).
 	Acquires int64
@@ -32,7 +33,7 @@ func New(m *rma.Machine) *Lock { return NewAt(m, 0) }
 
 // NewAt allocates a D-MCS lock whose TAIL word lives on tailRank.
 func NewAt(m *rma.Machine, tailRank int) *Lock {
-	l := &Lock{base: m.Alloc(words), tailRank: tailRank}
+	l := &Lock{base: m.Alloc(words), tailRank: tailRank, id: m.RegisterLock()}
 	m.OnInit(func(m *rma.Machine) {
 		for r := 0; r < m.Procs(); r++ {
 			m.Set(r, l.base+offNext, rma.Nil)
@@ -46,6 +47,12 @@ func NewAt(m *rma.Machine, tailRank int) *Lock {
 
 // Acquire implements the paper's Listing 2.
 func (l *Lock) Acquire(p *rma.Proc) {
+	p.TraceAcquireStart(l.id, true)
+	l.acquire(p)
+	p.TraceAcquired(l.id, true)
+}
+
+func (l *Lock) acquire(p *rma.Proc) {
 	me := p.Rank()
 	// Prepare local fields.
 	p.Put(rma.Nil, me, l.base+offNext)
@@ -66,6 +73,7 @@ func (l *Lock) Acquire(p *rma.Proc) {
 
 // Release implements the paper's Listing 3.
 func (l *Lock) Release(p *rma.Proc) {
+	p.TraceRelease(l.id, true)
 	me := p.Rank()
 	succ := p.Get(me, l.base+offNext)
 	p.Flush(me)

@@ -15,6 +15,7 @@ import (
 type SpinLock struct {
 	base int
 	home int
+	id   int // trace lock id (Machine.RegisterLock)
 
 	// Retries counts failed CAS attempts (contention indicator).
 	Retries int64
@@ -22,7 +23,7 @@ type SpinLock struct {
 
 // NewSpin allocates a foMPI-Spin lock with its word on rank 0.
 func NewSpin(m *rma.Machine) *SpinLock {
-	l := &SpinLock{base: m.Alloc(1), home: 0}
+	l := &SpinLock{base: m.Alloc(1), home: 0, id: m.RegisterLock()}
 	m.OnInit(func(m *rma.Machine) {
 		m.Set(l.home, l.base, 0)
 		l.Retries = 0
@@ -32,6 +33,7 @@ func NewSpin(m *rma.Machine) *SpinLock {
 
 // Acquire spins with capped exponential backoff until the CAS 0→1 wins.
 func (l *SpinLock) Acquire(p *rma.Proc) {
+	p.TraceAcquireStart(l.id, true)
 	// Spinlocks back off much further than queue locks: every retry is a
 	// remote atomic on the single hot word.
 	b := spinwait.New(200, 16000)
@@ -39,6 +41,7 @@ func (l *SpinLock) Acquire(p *rma.Proc) {
 		prev := p.CAS(1, 0, l.home, l.base)
 		p.Flush(l.home)
 		if prev == 0 {
+			p.TraceAcquired(l.id, true)
 			return
 		}
 		l.Retries++
@@ -48,6 +51,7 @@ func (l *SpinLock) Acquire(p *rma.Proc) {
 
 // Release clears the lock word.
 func (l *SpinLock) Release(p *rma.Proc) {
+	p.TraceRelease(l.id, true)
 	p.Accumulate(0, l.home, l.base, rma.OpReplace)
 	p.Flush(l.home)
 }
@@ -62,6 +66,7 @@ const writerBit int64 = 1 << 62
 type RWLock struct {
 	base int
 	home int
+	id   int // trace lock id (Machine.RegisterLock)
 
 	// ReaderRetries / WriterRetries count back-offs (contention).
 	ReaderRetries int64
@@ -70,7 +75,7 @@ type RWLock struct {
 
 // NewRW allocates a foMPI-RW lock with its word on rank 0.
 func NewRW(m *rma.Machine) *RWLock {
-	l := &RWLock{base: m.Alloc(1), home: 0}
+	l := &RWLock{base: m.Alloc(1), home: 0, id: m.RegisterLock()}
 	m.OnInit(func(m *rma.Machine) {
 		m.Set(l.home, l.base, 0)
 		l.ReaderRetries = 0
@@ -83,11 +88,13 @@ func NewRW(m *rma.Machine) *RWLock {
 // lock, it undoes the increment, waits for the writer bit to clear, and
 // retries.
 func (l *RWLock) AcquireRead(p *rma.Proc) {
+	p.TraceAcquireStart(l.id, false)
 	b := spinwait.New(200, 16000)
 	for {
 		prev := p.FAO(1, l.home, l.base, rma.OpSum)
 		p.Flush(l.home)
 		if prev&writerBit == 0 {
+			p.TraceAcquired(l.id, false)
 			return
 		}
 		// A writer is in or entering the CS: back out and wait.
@@ -107,6 +114,7 @@ func (l *RWLock) AcquireRead(p *rma.Proc) {
 
 // ReleaseRead decrements the reader count.
 func (l *RWLock) ReleaseRead(p *rma.Proc) {
+	p.TraceRelease(l.id, false)
 	p.Accumulate(-1, l.home, l.base, rma.OpSum)
 	p.Flush(l.home)
 }
@@ -115,6 +123,7 @@ func (l *RWLock) ReleaseRead(p *rma.Proc) {
 // for active readers to drain. Claiming before draining gives writers
 // preference so they cannot starve behind a continuous reader stream.
 func (l *RWLock) AcquireWrite(p *rma.Proc) {
+	p.TraceAcquireStart(l.id, true)
 	b := spinwait.New(200, 16000)
 	for {
 		v := p.Get(l.home, l.base)
@@ -138,6 +147,7 @@ func (l *RWLock) AcquireWrite(p *rma.Proc) {
 		v := p.Get(l.home, l.base)
 		p.Flush(l.home)
 		if v == writerBit {
+			p.TraceAcquired(l.id, true)
 			return
 		}
 		b.Pause(p)
@@ -146,6 +156,7 @@ func (l *RWLock) AcquireWrite(p *rma.Proc) {
 
 // ReleaseWrite clears the writer bit.
 func (l *RWLock) ReleaseWrite(p *rma.Proc) {
+	p.TraceRelease(l.id, true)
 	p.Accumulate(-writerBit, l.home, l.base, rma.OpSum)
 	p.Flush(l.home)
 }

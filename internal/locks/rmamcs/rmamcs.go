@@ -31,6 +31,7 @@ const DefaultTL int64 = 32
 type Lock struct {
 	tree *locks.DQTree
 	n    int
+	id   int // trace lock id (Machine.RegisterLock)
 
 	// Acquires counts lock acquisitions.
 	Acquires int64
@@ -53,7 +54,7 @@ func NewConfig(m *rma.Machine, cfg Config) *Lock {
 		}
 	}
 	tl[1] = math.MaxInt64 // no readers to yield to at the root (§3.5)
-	l := &Lock{tree: locks.NewDQTree(m, tl), n: n}
+	l := &Lock{tree: locks.NewDQTree(m, tl), n: n, id: m.RegisterLock()}
 	m.OnInit(func(*rma.Machine) { l.Acquires = 0; l.DirectEntries = 0 })
 	return l
 }
@@ -66,6 +67,12 @@ func (l *Lock) Tree() *locks.DQTree { return l.tree }
 // pass from a predecessor grants the global lock immediately, otherwise
 // the process continues one level up on behalf of its element.
 func (l *Lock) Acquire(p *rma.Proc) {
+	p.TraceAcquireStart(l.id, true)
+	l.acquire(p)
+	p.TraceAcquired(l.id, true)
+}
+
+func (l *Lock) acquire(p *rma.Proc) {
 	for i := l.n; i >= 1; i-- {
 		status, hadPred := l.tree.EnterQueue(p, i)
 		if hadPred {
@@ -96,6 +103,7 @@ func (l *Lock) Acquire(p *rma.Proc) {
 // first releases the parent level, then detaches or tells its successor to
 // acquire the parent itself.
 func (l *Lock) Release(p *rma.Proc) {
+	p.TraceRelease(l.id, true)
 	l.releaseLevel(p, l.n)
 }
 

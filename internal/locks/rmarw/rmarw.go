@@ -52,6 +52,7 @@ type Lock struct {
 	tdc  int
 	tr   int64
 	tw   int64
+	id   int // trace lock id (Machine.RegisterLock)
 
 	arriveOff    int
 	departOff    int
@@ -111,6 +112,7 @@ func NewConfig(m *rma.Machine, cfg Config) *Lock {
 		tdc:          tdc,
 		tr:           tr,
 		counterRanks: topo.CounterRanks(tdc),
+		id:           m.RegisterLock(),
 	}
 	l.tree = locks.NewDQTree(m, tl)
 	l.tw = l.tree.ProductTL()
@@ -252,6 +254,12 @@ func (l *Lock) resetCounters(p *rma.Proc) {
 // AcquireRead admits the reader once its physical counter is in READ mode
 // and below T_R.
 func (l *Lock) AcquireRead(p *rma.Proc) {
+	p.TraceAcquireStart(l.id, false)
+	l.acquireRead(p)
+	p.TraceAcquired(l.id, false)
+}
+
+func (l *Lock) acquireRead(p *rma.Proc) {
 	c := l.counter(p)
 	barrier := false
 	for {
@@ -294,6 +302,7 @@ func (l *Lock) AcquireRead(p *rma.Proc) {
 
 // ReleaseRead increments the departing-reader word of c(p).
 func (l *Lock) ReleaseRead(p *rma.Proc) {
+	p.TraceRelease(l.id, false)
 	c := l.counter(p)
 	p.Accumulate(1, c, l.departOff, rma.OpSum)
 	p.Flush(c)
@@ -306,6 +315,12 @@ func (l *Lock) ReleaseRead(p *rma.Proc) {
 // AcquireWrite climbs the DT from the leaf; at the root it additionally
 // synchronizes with the readers through the distributed counter.
 func (l *Lock) AcquireWrite(p *rma.Proc) {
+	p.TraceAcquireStart(l.id, true)
+	l.acquireWrite(p)
+	p.TraceAcquired(l.id, true)
+}
+
+func (l *Lock) acquireWrite(p *rma.Proc) {
 	for i := l.n; i >= 2; i-- {
 		status, hadPred := l.tree.EnterQueue(p, i)
 		if hadPred {
@@ -341,6 +356,7 @@ func (l *Lock) AcquireWrite(p *rma.Proc) {
 // ReleaseWrite walks down from the leaf (Listing 5), ending at the root
 // protocol (Listing 8).
 func (l *Lock) ReleaseWrite(p *rma.Proc) {
+	p.TraceRelease(l.id, true)
 	l.releaseLevel(p, l.n)
 }
 

@@ -20,6 +20,7 @@ import (
 	"rmalocks/internal/sim"
 	"rmalocks/internal/sim/refsim"
 	"rmalocks/internal/topology"
+	"rmalocks/internal/trace"
 )
 
 // Nil is the null rank/pointer value ∅ of the paper.
@@ -95,6 +96,8 @@ type Machine struct {
 	bcost      int64 // barrier cost
 	engine     string
 	nocoalesce bool
+	sink       *trace.Sink
+	nextLockID int
 	ran        bool
 	stats      Stats
 	maxClk     int64
@@ -118,6 +121,13 @@ type Config struct {
 	// the scheduler immediately. A verification knob: coalesced and
 	// uncoalesced runs must be byte-identical (test-enforced).
 	NoCoalesce bool
+	// Trace, when non-nil, captures the run's event stream (see
+	// internal/trace): RMA op issue/land events, lock protocol events,
+	// scheduler handoffs and coalescing boundaries, per the sink's
+	// class mask. Tracing only observes — it never changes a single
+	// virtual-time decision (differential-tested), and a nil sink
+	// leaves the hot paths at one nil check.
+	Trace *trace.Sink
 }
 
 // NewMachine creates a machine over the given topology with default config.
@@ -155,6 +165,7 @@ func NewMachineConfig(topo *topology.Topology, cfg Config) *Machine {
 		bcost:      bcost,
 		engine:     cfg.Engine,
 		nocoalesce: cfg.NoCoalesce,
+		sink:       cfg.Trace,
 	}
 }
 
@@ -197,6 +208,18 @@ func (m *Machine) At(rank, offset int) int64 { return m.mem[m.index(rank, offset
 // Words returns the number of window words allocated per rank.
 func (m *Machine) Words() int { return m.words }
 
+// Trace returns the machine's trace sink (nil when tracing is off).
+func (m *Machine) Trace() *trace.Sink { return m.sink }
+
+// RegisterLock hands out the next lock id for trace attribution. Lock
+// constructors call it before Run; construction order is deterministic,
+// so ids are stable across runs and engines.
+func (m *Machine) RegisterLock() int {
+	id := m.nextLockID
+	m.nextLockID++
+	return id
+}
+
 // Run executes body once per rank as a simulated process and returns when
 // all processes finish. It may be called multiple times; window memory is
 // re-initialized before each run. Buffers (window memory, busy horizons,
@@ -212,13 +235,20 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	}
 	m.ran = true
 	m.stats = Stats{PerDistance: make([]OpCount, m.topo.MaxDistance()+1)}
-	simCfg := sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost}
+	simCfg := sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost, Trace: m.sink}
 	wrap := func(h schedHandle) {
 		proc := &Proc{
 			m:    m,
 			rank: h.ID(),
 			h:    h,
 			rng:  rand.New(rand.NewSource(m.seed*1000003 + int64(h.ID()))),
+		}
+		if m.sink != nil {
+			// Per-class buffers, resolved once: a disabled class leaves
+			// its pointer nil, so each emission site costs one check.
+			proc.opBuf = m.sink.Buf(proc.rank, trace.ClassOp)
+			proc.lockBuf = m.sink.Buf(proc.rank, trace.ClassLock)
+			proc.chargeBuf = m.sink.Buf(proc.rank, trace.ClassCharge)
 		}
 		body(proc)
 		proc.flush() // publish coalesced time before exit

@@ -3,6 +3,8 @@ package rma
 import (
 	"fmt"
 	"math/rand"
+
+	"rmalocks/internal/trace"
 )
 
 // Proc is the per-process handle of a simulated program: it carries the
@@ -18,6 +20,11 @@ type Proc struct {
 	// scheduler (charge coalescing, see spend). The process's effective
 	// clock is h.Clock() + pending.
 	pending int64
+	// Per-class trace buffers (nil when tracing or the class is off):
+	// opBuf receives RMA op issue/land events, lockBuf the lock
+	// protocol events emitted via the TraceXxx helpers, chargeBuf the
+	// coalescing flush boundaries.
+	opBuf, lockBuf, chargeBuf *trace.Buf
 }
 
 // Rank returns the process's rank, 0-based.
@@ -55,6 +62,9 @@ func (p *Proc) spend(d int64) {
 	if p.h.Clock()+p.pending > p.h.Horizon() {
 		d = p.pending
 		p.pending = 0
+		if p.chargeBuf != nil {
+			p.chargeBuf.Emit(trace.EvFlush, p.h.Clock()+d, d, 0, 0)
+		}
 		p.h.Advance(d)
 	}
 }
@@ -69,7 +79,54 @@ func (p *Proc) flush() {
 	if p.pending != 0 {
 		d := p.pending
 		p.pending = 0
+		if p.chargeBuf != nil {
+			p.chargeBuf.Emit(trace.EvFlush, p.h.Clock()+d, d, 0, 0)
+		}
 		p.h.Advance(d)
+	}
+}
+
+// traceOp records one RMA operation issue in the trace stream: the
+// issue clock is the effective clock (identical whether or not charges
+// are being coalesced), land the virtual time the operation applies at
+// the target.
+func (p *Proc) traceOp(op int64, target int, land int64) {
+	if p.opBuf != nil {
+		p.opBuf.Emit(trace.EvOp, p.Now(), op, int64(target), land)
+	}
+}
+
+func wmode(write bool) int64 {
+	if write {
+		return 1
+	}
+	return 0
+}
+
+// TraceAcquireStart records the start of a lock acquisition (lock ids
+// come from Machine.RegisterLock). The TraceXxx helpers are the
+// instrumentation surface the lock implementations call around their
+// protocols; with tracing off each is one nil check.
+func (p *Proc) TraceAcquireStart(id int, write bool) {
+	if p.lockBuf != nil {
+		p.lockBuf.Emit(trace.EvAcqStart, p.Now(), int64(id), wmode(write), 0)
+	}
+}
+
+// TraceAcquired records critical-section entry, tagging the event with
+// the rank's leaf machine element so analyses can attribute handoff
+// locality without re-deriving the topology.
+func (p *Proc) TraceAcquired(id int, write bool) {
+	if p.lockBuf != nil {
+		elem := p.m.topo.Element(p.rank, p.m.topo.Levels())
+		p.lockBuf.Emit(trace.EvAcquired, p.Now(), int64(id), wmode(write), int64(elem))
+	}
+}
+
+// TraceRelease records the start of a lock release.
+func (p *Proc) TraceRelease(id int, write bool) {
+	if p.lockBuf != nil {
+		p.lockBuf.Emit(trace.EvRelease, p.Now(), int64(id), wmode(write), 0)
 	}
 }
 
@@ -79,6 +136,7 @@ func (p *Proc) Put(src int64, target, offset int) {
 	p.m.mem[i] = src
 	p.m.stats.count(opPut, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, false)
+	p.traceOp(trace.OpPut, target, land)
 	p.m.wake(target, offset, src, land)
 	p.spend(dur)
 }
@@ -89,7 +147,8 @@ func (p *Proc) Put(src int64, target, offset int) {
 func (p *Proc) Get(target, offset int) int64 {
 	v := p.m.mem[p.m.index(target, offset)]
 	p.m.stats.count(opGet, p.m.topo.Distance(p.rank, target))
-	dur, _ := p.m.charge(p, target, false)
+	dur, land := p.m.charge(p, target, false)
+	p.traceOp(trace.OpGet, target, land)
 	p.spend(dur)
 	return v
 }
@@ -110,6 +169,7 @@ func (p *Proc) Accumulate(oprd int64, target, offset int, op Op) {
 	p.m.mem[i] = nv
 	p.m.stats.count(opAcc, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, true)
+	p.traceOp(trace.OpAcc, target, land)
 	p.m.wake(target, offset, nv, land)
 	p.spend(dur)
 }
@@ -131,6 +191,7 @@ func (p *Proc) FAO(oprd int64, target, offset int, op Op) int64 {
 	p.m.mem[i] = nv
 	p.m.stats.count(opFAO, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, true)
+	p.traceOp(trace.OpFAO, target, land)
 	p.m.wake(target, offset, nv, land)
 	p.spend(dur)
 	return prev
@@ -147,6 +208,7 @@ func (p *Proc) CAS(src, cmp int64, target, offset int) int64 {
 	}
 	p.m.stats.count(opCAS, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, true)
+	p.traceOp(trace.OpCAS, target, land)
 	if changed {
 		p.m.wake(target, offset, src, land)
 	}
@@ -159,12 +221,14 @@ func (p *Proc) CAS(src, cmp int64, target, offset int) int64 {
 // bookkeeping cost; it is kept so protocols read exactly like the paper.
 func (p *Proc) Flush(target int) {
 	p.m.stats.count(opFlush, 0)
+	p.traceOp(trace.OpFlush, target, 0)
 	p.spend(flushCost)
 }
 
 // FlushAll completes all pending RMA calls of the process.
 func (p *Proc) FlushAll() {
 	p.m.stats.count(opFlush, 0)
+	p.traceOp(trace.OpFlush, -1, 0)
 	p.spend(flushCost)
 }
 
@@ -185,7 +249,8 @@ func (p *Proc) SpinUntil(target, offset int, cond func(int64) bool) int64 {
 	if cond(v) {
 		// Fast path: one ordinary read observes the satisfying value.
 		p.m.stats.count(opGet, p.m.topo.Distance(p.rank, target))
-		dur, _ := p.m.charge(p, target, false)
+		dur, land := p.m.charge(p, target, false)
+		p.traceOp(trace.OpGet, target, land)
 		p.spend(dur)
 		return v
 	}

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"rmalocks/internal/sim"
+	"rmalocks/internal/trace"
 )
 
 // abortSignal is panicked inside process goroutines when the simulation is
@@ -34,6 +35,9 @@ type proc struct {
 	heapIdx int
 	blocked bool // waiting in a barrier
 	exited  bool
+	// tb is the proc's ClassCharge trace buffer (nil when disabled),
+	// mirroring the fast engine's instrumentation.
+	tb *trace.Buf
 }
 
 // Handle is a per-process handle passed to the process body. Its methods
@@ -55,9 +59,11 @@ type Scheduler struct {
 	procs     []*proc
 	heap      procHeap
 	live      int
-	arrived   []*proc // processes blocked in the current barrier
-	syncCost  int64   // virtual cost charged by a barrier
-	timeLimit int64   // 0 = unlimited
+	arrived   []*proc     // processes blocked in the current barrier
+	syncCost  int64       // virtual cost charged by a barrier
+	timeLimit int64       // 0 = unlimited
+	running   *proc       // current token holder (trace attribution)
+	tsink     *trace.Sink // non-nil only when ClassSched tracing is on
 	err       error
 }
 
@@ -76,6 +82,15 @@ func New(cfg sim.Config) *Scheduler {
 	}
 	for i := range s.procs {
 		s.procs[i] = &proc{id: i, wake: make(chan struct{}, 1), heapIdx: -1}
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Start(cfg.Procs)
+		if cfg.Trace.Has(trace.ClassSched) {
+			s.tsink = cfg.Trace
+		}
+		for i, p := range s.procs {
+			p.tb = cfg.Trace.Buf(i, trace.ClassCharge)
+		}
 	}
 	return s
 }
@@ -112,7 +127,7 @@ func (s *Scheduler) Run(body func(h *Handle)) error {
 	for _, p := range s.procs {
 		s.push(p)
 	}
-	s.sendWake(s.popMin())
+	s.sendWake(s.dispatchLocked())
 	s.mu.Unlock()
 	wg.Wait()
 	return s.err
@@ -181,8 +196,11 @@ func (h *Handle) Advance(d int64) {
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
+	if p.tb != nil {
+		p.tb.Emit(trace.EvAdvance, p.clock, d, 0, 0)
+	}
 	s.push(p)
-	next := s.popMin()
+	next := s.dispatchLocked()
 	if next == p {
 		s.mu.Unlock()
 		return
@@ -203,10 +221,13 @@ func (h *Handle) Barrier() {
 		panic(abortSignal{})
 	}
 	p.blocked = true
+	if s.tsink != nil {
+		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBarrier, p.clock, 0, 0, 0)
+	}
 	s.arrived = append(s.arrived, p)
 	if len(s.arrived) == s.live {
 		s.releaseBarrierLocked()
-		next := s.popMin()
+		next := s.dispatchLocked()
 		if next == p {
 			s.mu.Unlock()
 			return
@@ -221,7 +242,7 @@ func (h *Handle) Barrier() {
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	next := s.popMin()
+	next := s.dispatchLocked()
 	s.sendWake(next)
 	s.mu.Unlock()
 	h.park()
@@ -238,12 +259,15 @@ func (h *Handle) Block() {
 		panic(abortSignal{})
 	}
 	p.blocked = true
+	if s.tsink != nil {
+		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBlock, p.clock, 0, 0, 0)
+	}
 	if len(s.heap) == 0 {
 		s.failLocked(sim.ErrDeadlock)
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	next := s.popMin()
+	next := s.dispatchLocked()
 	s.sendWake(next)
 	s.mu.Unlock()
 	h.park()
@@ -290,6 +314,13 @@ func (h *Handle) WakeAt(clock int64) {
 	if clock > q.clock {
 		q.clock = clock
 	}
+	if s.tsink != nil {
+		waker := int64(-1)
+		if s.running != nil {
+			waker = int64(s.running.id)
+		}
+		s.tsink.Buf(q.id, trace.ClassSched).Emit(trace.EvWake, q.clock, waker, 0, 0)
+	}
 	s.push(q)
 	s.mu.Unlock()
 }
@@ -334,7 +365,7 @@ func (h *Handle) exit() {
 		s.mu.Unlock()
 		return
 	}
-	next := s.popMin()
+	next := s.dispatchLocked()
 	s.sendWake(next)
 	s.mu.Unlock()
 }
@@ -413,4 +444,21 @@ func (s *Scheduler) popMin() *proc {
 	p := heap.Pop(&s.heap).(*proc)
 	p.inHeap = false
 	return p
+}
+
+// dispatchLocked pops the new minimum and records it as the token
+// holder, emitting the same EvDispatch handoff event as the fast
+// engine: next.clock and the previous holder's rank, only when the
+// token actually changes hands. Caller must hold s.mu.
+func (s *Scheduler) dispatchLocked() *proc {
+	next := s.popMin()
+	if s.tsink != nil && next != s.running {
+		prev := int64(-1)
+		if s.running != nil {
+			prev = int64(s.running.id)
+		}
+		s.tsink.Buf(next.id, trace.ClassSched).Emit(trace.EvDispatch, next.clock, prev, 0, 0)
+	}
+	s.running = next
+	return next
 }

@@ -37,6 +37,8 @@ import (
 	"math"
 	"runtime/debug"
 	"sync"
+
+	"rmalocks/internal/trace"
 )
 
 // ErrTimeLimit is returned by Run when a process's virtual clock exceeded
@@ -64,6 +66,14 @@ type proc struct {
 	inHeap  bool
 	blocked bool // waiting in a barrier or Block
 	exited  bool
+	// tb is the proc's ClassCharge trace buffer; nil unless charge
+	// tracing is enabled. Only the slow (already-locked) paths emit
+	// through it: the lock-free Advance fast path stays byte-for-byte
+	// untouched by tracing — a fast-path advance is exactly the
+	// publication that no other process can observe, so the charge
+	// stream loses nothing by recording only handoffs (here) and
+	// coalescing boundaries (rma's EvFlush).
+	tb *trace.Buf
 }
 
 // Handle is a per-process handle passed to the process body. Its methods
@@ -93,11 +103,12 @@ type Scheduler struct {
 	mu        sync.Mutex
 	procs     []*proc
 	heap      procHeap
-	running   *proc   // current token holder (horizon cache owner)
+	running   *proc // current token holder (horizon cache owner)
 	live      int
-	arrived   []*proc // processes blocked in the current barrier
-	syncCost  int64   // virtual cost charged by a barrier
-	timeLimit int64   // 0 = unlimited
+	arrived   []*proc     // processes blocked in the current barrier
+	syncCost  int64       // virtual cost charged by a barrier
+	timeLimit int64       // 0 = unlimited
+	tsink     *trace.Sink // non-nil only when ClassSched tracing is on
 	err       error
 }
 
@@ -111,6 +122,12 @@ type Config struct {
 	// BarrierCost is the virtual time charged to every process by a
 	// barrier, on top of synchronizing clocks to the maximum.
 	BarrierCost int64
+	// Trace, when non-nil, receives scheduler events (ClassSched:
+	// dispatch/block/wake/barrier) and slow-path clock publications
+	// (ClassCharge). The sink is restarted for this run. The lock-free
+	// Advance fast path is byte-for-byte identical traced or not
+	// (BenchmarkAdvanceUncontended vs BenchmarkAdvanceTraced pin it).
+	Trace *trace.Sink
 }
 
 // corePool recycles proc sets — the proc structs, their wake channels and
@@ -144,6 +161,15 @@ func New(cfg Config) *Scheduler {
 	} else {
 		s.procs = resizeProcs(nil, cfg.Procs)
 	}
+	if cfg.Trace != nil {
+		cfg.Trace.Start(cfg.Procs)
+		if cfg.Trace.Has(trace.ClassSched) {
+			s.tsink = cfg.Trace
+		}
+		for i, p := range s.procs {
+			p.tb = cfg.Trace.Buf(i, trace.ClassCharge)
+		}
+	}
 	return s
 }
 
@@ -168,6 +194,7 @@ func resizeProcs(ps []*proc, n int) []*proc {
 		p.id = i
 		p.clock, p.horizon = 0, 0
 		p.inHeap, p.blocked, p.exited = false, false, false
+		p.tb = nil // pooled procs may carry a previous run's trace buffer
 	}
 	return ps
 }
@@ -275,6 +302,9 @@ func (h *Handle) advanceSlow(d int64) {
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
+	if p.tb != nil {
+		p.tb.Emit(trace.EvAdvance, p.clock, d, 0, 0)
+	}
 	s.push(p)
 	next := s.dispatchLocked()
 	if next == p {
@@ -297,6 +327,9 @@ func (h *Handle) Barrier() {
 		panic(abortSignal{})
 	}
 	p.blocked = true
+	if s.tsink != nil {
+		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBarrier, p.clock, 0, 0, 0)
+	}
 	s.arrived = append(s.arrived, p)
 	if len(s.arrived) == s.live {
 		// Last arriver releases everyone.
@@ -337,6 +370,9 @@ func (h *Handle) Block() {
 		panic(abortSignal{})
 	}
 	p.blocked = true
+	if s.tsink != nil {
+		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBlock, p.clock, 0, 0, 0)
+	}
 	if len(s.heap.a) == 0 {
 		s.failLocked(ErrDeadlock)
 		s.mu.Unlock()
@@ -396,6 +432,13 @@ func (h *Handle) WakeAt(clock int64) {
 	q.blocked = false
 	if clock > q.clock {
 		q.clock = clock
+	}
+	if s.tsink != nil {
+		waker := int64(-1)
+		if s.running != nil {
+			waker = int64(s.running.id)
+		}
+		s.tsink.Buf(q.id, trace.ClassSched).Emit(trace.EvWake, q.clock, waker, 0, 0)
 	}
 	s.push(q)
 	if r := s.running; r != nil {
@@ -477,10 +520,20 @@ func (s *Scheduler) failLocked(err error) {
 
 // dispatchLocked pops the new minimum, records it as the token holder and
 // caches its fast-path horizon. Caller must hold s.mu and send the wake
-// (unless the minimum is the caller itself).
+// (unless the minimum is the caller itself). A genuine handoff (the token
+// changing hands) emits an EvDispatch event into the new holder's stream;
+// writes to a parked proc's trace buffer happen-before the wake send, so
+// capture stays race-free.
 func (s *Scheduler) dispatchLocked() *proc {
 	next := s.popMin()
 	next.horizon = s.horizonForLocked(next)
+	if s.tsink != nil && next != s.running {
+		prev := int64(-1)
+		if s.running != nil {
+			prev = int64(s.running.id)
+		}
+		s.tsink.Buf(next.id, trace.ClassSched).Emit(trace.EvDispatch, next.clock, prev, 0, 0)
+	}
 	s.running = next
 	return next
 }

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"rmalocks/internal/stats"
+	"rmalocks/internal/trace"
 	"rmalocks/internal/workload"
 )
 
@@ -54,6 +55,10 @@ type CellResult struct {
 	Locks       int             `json:"locks"`
 	Report      workload.Report `json:"report"`
 	Fingerprint string          `json:"fingerprint"`
+	// Trace holds the cell's event sink when the grid ran with tracing
+	// (Grid.Trace); consumers (workbench -trace) export it. Never
+	// persisted: baselines carry only the trace-derived Report fields.
+	Trace *trace.Sink `json:"-"`
 }
 
 // Options configures a sweep execution.
@@ -111,13 +116,13 @@ func Run(cells []Cell, opts Options) ([]CellResult, error) {
 	results := make([]CellResult, len(cells))
 	err := ForEach(len(cells), opts.Workers, func(i int) error {
 		c := cells[i]
-		rep, locks, err := runOnce(c)
+		rep, locks, sink, err := runOnce(c)
 		if err != nil {
 			return fmt.Errorf("sweep: cell %s: %w", c.Key, err)
 		}
 		fp := rep.Fingerprint()
 		if opts.Check {
-			rep2, _, err := runOnce(c)
+			rep2, _, _, err := runOnce(c)
 			if err != nil {
 				return fmt.Errorf("sweep: cell %s (check re-run): %w", c.Key, err)
 			}
@@ -125,7 +130,7 @@ func Run(cells []Cell, opts Options) ([]CellResult, error) {
 				return fmt.Errorf("sweep: cell %s is NOT reproducible", c.Key)
 			}
 		}
-		results[i] = CellResult{Key: c.Key, Locks: locks, Report: rep, Fingerprint: fp}
+		results[i] = CellResult{Key: c.Key, Locks: locks, Report: rep, Fingerprint: fp, Trace: sink}
 		return nil
 	})
 	if err != nil {
@@ -134,17 +139,17 @@ func Run(cells []Cell, opts Options) ([]CellResult, error) {
 	return results, nil
 }
 
-func runOnce(c Cell) (workload.Report, int, error) {
+func runOnce(c Cell) (workload.Report, int, *trace.Sink, error) {
 	spec, err := c.Spec()
 	if err != nil {
-		return workload.Report{}, 0, err
+		return workload.Report{}, 0, nil, err
 	}
 	locks := 1
 	if spec.Profile != nil {
 		locks = spec.Profile.Locks()
 	}
 	rep, err := workload.Run(spec)
-	return rep, locks, err
+	return rep, locks, spec.Trace, err
 }
 
 // Grid enumerates a scheme × workload × profile × P parameter space
@@ -183,6 +188,11 @@ type Grid struct {
 	// "fast" = token-owned fast path, "ref" = reference engine); the
 	// workbench -engine flag exposes it for ad-hoc differential sweeps.
 	Engine string
+	// Trace, when nonzero, attaches a fresh trace sink with this class
+	// mask to every cell (cells run in parallel, so sinks are per-cell),
+	// filling the per-cell Report.Fairness / Report.HandoffLocality
+	// metrics and returning the raw sinks via CellResult.Trace.
+	Trace trace.Class
 }
 
 func (g Grid) fill() Grid {
@@ -245,7 +255,7 @@ func (g Grid) cell(scheme, wname, pname string, p int) Cell {
 			if err != nil {
 				return workload.Spec{}, err
 			}
-			return workload.Spec{
+			spec := workload.Spec{
 				Scheme:       scheme,
 				P:            p,
 				ProcsPerNode: g.ProcsPerNode,
@@ -255,7 +265,11 @@ func (g Grid) cell(scheme, wname, pname string, p int) Cell {
 				Workload:     wl,
 				Params:       g.Params,
 				Engine:       g.Engine,
-			}, nil
+			}
+			if g.Trace != 0 {
+				spec.Trace = trace.New(g.Trace)
+			}
+			return spec, nil
 		},
 	}
 }
@@ -267,13 +281,17 @@ func Table(title string, results []CellResult) *stats.Table {
 	t := &stats.Table{
 		Title: title,
 		Columns: []string{"Scheme", "Workload", "Profile", "P", "Locks",
-			"Mops", "MeanLat[us]", "P95Lat[us]", "Makespan[ms]", "Reads", "Writes", "Extra"},
+			"Mops", "MeanLat[us]", "P95Lat[us]", "Makespan[ms]", "Reads", "Writes", "Jain", "Extra"},
 	}
 	for _, r := range results {
 		rep := r.Report
+		jain := "-"
+		if rep.HandoffLocality != nil {
+			jain = stats.FmtF(rep.Fairness)
+		}
 		t.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(rep.P), fmt.Sprint(r.Locks),
 			stats.FmtF(rep.ThroughputMops), stats.FmtF(rep.Latency.Mean), stats.FmtF(rep.Latency.P95),
-			stats.FmtF(rep.MakespanMs), fmt.Sprint(rep.Reads), fmt.Sprint(rep.Writes), extraString(rep))
+			stats.FmtF(rep.MakespanMs), fmt.Sprint(rep.Reads), fmt.Sprint(rep.Writes), jain, extraString(rep))
 	}
 	return t
 }

@@ -1,0 +1,65 @@
+package sweep_test
+
+import (
+	"strings"
+	"testing"
+
+	"rmalocks/internal/sweep"
+	"rmalocks/internal/trace"
+	"rmalocks/internal/workload"
+)
+
+// TestGridTraceCells pins the sweep-level trace wiring: a traced grid
+// attaches a fresh per-cell sink, fills the trace-derived report
+// metrics, survives the -check reproducibility re-run, and its
+// fingerprints differ from an untraced run of the same grid ONLY by the
+// appended trace fields — so untraced baselines stay byte-identical
+// whether or not the toolchain knows about tracing.
+func TestGridTraceCells(t *testing.T) {
+	g := sweep.Grid{
+		Schemes:   []string{workload.SchemeDMCS},
+		Workloads: []string{"empty"},
+		Profiles:  []string{"uniform"},
+		Ps:        []int{8},
+		Iters:     8,
+		FW:        1,
+	}
+	plain, err := sweep.Run(g.Cells(), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Trace = trace.ClassLock
+	traced, err := sweep.Run(g.Cells(), sweep.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain[0].Trace != nil {
+		t.Fatal("untraced cell carries a sink")
+	}
+	if plain[0].Report.HandoffLocality != nil || plain[0].Report.Fairness != 0 {
+		t.Fatalf("untraced cell carries trace metrics: %+v", plain[0].Report)
+	}
+	tr := traced[0]
+	if tr.Trace == nil || tr.Trace.Len() == 0 {
+		t.Fatal("traced cell missing its event sink")
+	}
+	if tr.Report.HandoffLocality == nil {
+		t.Fatal("traced cell missing HandoffLocality")
+	}
+	if tr.Report.Fairness <= 0 || tr.Report.Fairness > 1 {
+		t.Fatalf("traced cell Fairness = %v", tr.Report.Fairness)
+	}
+
+	// Stripping the trace-only fields must recover the untraced
+	// fingerprint byte-for-byte: tracing never changes the simulation.
+	stripped := tr.Report
+	stripped.Fairness = 0
+	stripped.HandoffLocality = nil
+	if got, want := stripped.Fingerprint(), plain[0].Fingerprint; got != want {
+		t.Fatalf("tracing perturbed the cell:\n traced-stripped: %s\n untraced:        %s", got, want)
+	}
+	if !strings.Contains(tr.Fingerprint, " fair=") {
+		t.Fatalf("traced fingerprint not marked: %s", tr.Fingerprint)
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// exportEvents is a small fixed stream exercising every exported shape:
+// a wait+hold span pair, a handoff, RMA ops, and scheduler instants.
+func exportEvents() []Event {
+	return []Event{
+		{Clock: 0, Rank: 0, Seq: 0, Kind: EvDispatch, Arg0: -1},
+		{Clock: 100, Rank: 0, Seq: 1, Kind: EvAcqStart, Arg0: 0, Arg1: 1},
+		{Clock: 150, Rank: 0, Seq: 2, Kind: EvOp, Arg0: OpPut, Arg1: 1, Arg2: 200},
+		{Clock: 300, Rank: 0, Seq: 3, Kind: EvAcquired, Arg0: 0, Arg1: 1, Arg2: 0},
+		{Clock: 350, Rank: 1, Seq: 0, Kind: EvAcqStart, Arg0: 0, Arg1: 1},
+		{Clock: 360, Rank: 1, Seq: 1, Kind: EvBlock},
+		{Clock: 500, Rank: 0, Seq: 4, Kind: EvRelease, Arg0: 0, Arg1: 1},
+		{Clock: 700, Rank: 1, Seq: 2, Kind: EvWake, Arg0: 0},
+		{Clock: 750, Rank: 1, Seq: 3, Kind: EvAcquired, Arg0: 0, Arg1: 1, Arg2: 0},
+		{Clock: 900, Rank: 1, Seq: 4, Kind: EvRelease, Arg0: 0, Arg1: 1},
+		{Clock: 950, Rank: 1, Seq: 5, Kind: EvBarrier},
+	}
+}
+
+func TestChromeExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, exportEvents(), Meta{Label: "golden", P: 2, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export drifted from golden (regenerate with -update if intended)\ngot:\n%s", buf.String())
+	}
+}
+
+// TestChromeExportSchema validates the trace-event schema contract that
+// makes the file loadable in Perfetto / chrome://tracing: a traceEvents
+// array whose entries carry name/ph/ts/pid/tid, complete events carry a
+// non-negative dur, instants a valid scope, and ts values are
+// non-negative µs.
+func TestChromeExportSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, exportEvents(), Meta{Label: "schema", P: 2, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	if f.DisplayTimeUnit != "ms" && f.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit %q not a trace-event unit", f.DisplayTimeUnit)
+	}
+	if f.OtherData["p"] == nil || f.OtherData["ppn"] == nil {
+		t.Fatal("otherData must carry the machine shape (p, ppn)")
+	}
+	waits, holds := 0, 0
+	for i, e := range f.TraceEvents {
+		if e.Name == "" || e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %d missing name/pid/tid: %+v", i, e)
+		}
+		switch e.Ph {
+		case "M":
+			continue
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("complete event %d needs non-negative dur: %+v", i, e)
+			}
+			switch e.Cat {
+			case "wait":
+				waits++
+			case "lock":
+				holds++
+			}
+		case "i":
+			if e.S != "t" && e.S != "p" && e.S != "g" {
+				t.Fatalf("instant event %d has bad scope %q", i, e.S)
+			}
+		default:
+			t.Fatalf("event %d has unexpected phase %q", i, e.Ph)
+		}
+		if e.Ts == nil || *e.Ts < 0 {
+			t.Fatalf("event %d missing or negative ts", i)
+		}
+	}
+	if waits != 2 || holds != 2 {
+		t.Fatalf("expected 2 wait and 2 hold spans, got %d/%d", waits, holds)
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import "fmt"
+
+// Validate replays a merged event stream and checks the invariants any
+// correct capture of a correct lock protocol must satisfy:
+//
+//   - canonical order: (Clock, Rank, Seq) non-decreasing overall,
+//     per-rank clocks non-decreasing and Seq strictly increasing;
+//   - lock protocol: every EvAcquired matches a pending EvAcqStart of
+//     the same (rank, lock); a write acquisition requires the lock to
+//     be free, a read acquisition requires no write holder (readers may
+//     share); every EvRelease matches a current holder;
+//   - scheduling: EvWake targets a rank with an unresolved EvBlock.
+//
+// The differential suite runs Validate over every traced cell, turning
+// the trace subsystem into a replay-driven checker: a protocol bug that
+// produces overlapping write holds fails here with the exact virtual
+// time and ranks involved, instead of only skewing aggregate numbers.
+//
+// Streams filtered to a sub-window (e.g. the measured phase) can open
+// mid-protocol; Validate is for complete captures.
+func Validate(events []Event) error {
+	type lockState struct {
+		writer  int32 // holding writer rank, or -1
+		readers map[int32]bool
+	}
+	locks := map[int64]*lockState{}
+	state := func(id int64) *lockState {
+		ls := locks[id]
+		if ls == nil {
+			ls = &lockState{writer: -1, readers: map[int32]bool{}}
+			locks[id] = ls
+		}
+		return ls
+	}
+	type pendKey struct {
+		rank int32
+		lock int64
+	}
+	pendingAcq := map[pendKey]bool{}
+	blocked := map[int32]bool{}
+	lastClock := map[int32]int64{}
+	lastSeq := map[int32]int64{}
+	var prev *Event
+
+	for i := range events {
+		e := &events[i]
+		if prev != nil {
+			if e.Clock < prev.Clock ||
+				(e.Clock == prev.Clock && e.Rank < prev.Rank) ||
+				(e.Clock == prev.Clock && e.Rank == prev.Rank && e.Seq <= prev.Seq) {
+				return fmt.Errorf("trace: canonical order violated at index %d: %v after %v", i, *e, *prev)
+			}
+		}
+		prev = e
+		if c, ok := lastClock[e.Rank]; ok && e.Clock < c {
+			return fmt.Errorf("trace: rank %d clock moved backwards: %v (was at %d)", e.Rank, *e, c)
+		}
+		lastClock[e.Rank] = e.Clock
+		if s, ok := lastSeq[e.Rank]; ok && int64(e.Seq) <= s {
+			return fmt.Errorf("trace: rank %d seq not increasing: %v (was %d)", e.Rank, *e, s)
+		}
+		lastSeq[e.Rank] = int64(e.Seq)
+
+		switch e.Kind {
+		case EvAcqStart:
+			pendingAcq[pendKey{e.Rank, e.Arg0}] = true
+		case EvAcquired:
+			k := pendKey{e.Rank, e.Arg0}
+			if !pendingAcq[k] {
+				return fmt.Errorf("trace: %v without a pending acq-start", *e)
+			}
+			delete(pendingAcq, k)
+			ls := state(e.Arg0)
+			if e.Arg1 != 0 { // write
+				if ls.writer != -1 || len(ls.readers) != 0 {
+					return fmt.Errorf("trace: write acquire %v overlaps holders (writer=%d readers=%d)",
+						*e, ls.writer, len(ls.readers))
+				}
+				ls.writer = e.Rank
+			} else {
+				if ls.writer != -1 {
+					return fmt.Errorf("trace: read acquire %v overlaps writer %d", *e, ls.writer)
+				}
+				ls.readers[e.Rank] = true
+			}
+		case EvRelease:
+			ls := state(e.Arg0)
+			if e.Arg1 != 0 {
+				if ls.writer != e.Rank {
+					return fmt.Errorf("trace: write release %v by non-holder (writer=%d)", *e, ls.writer)
+				}
+				ls.writer = -1
+			} else {
+				if !ls.readers[e.Rank] {
+					return fmt.Errorf("trace: read release %v by non-holder", *e)
+				}
+				delete(ls.readers, e.Rank)
+			}
+		case EvBlock:
+			blocked[e.Rank] = true
+		case EvWake:
+			if !blocked[e.Rank] {
+				return fmt.Errorf("trace: %v targets a rank with no unresolved block", *e)
+			}
+			delete(blocked, e.Rank)
+		}
+	}
+	return nil
+}

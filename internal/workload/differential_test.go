@@ -11,9 +11,11 @@ package workload_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"rmalocks/internal/rma"
+	"rmalocks/internal/trace"
 	"rmalocks/internal/workload"
 )
 
@@ -78,6 +80,69 @@ func TestDifferentialEnginesAllSchemesProfiles(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestDifferentialTraceStreams is the trace ↔ coalescing interplay
+// gate: for every engine × coalescing combination, the merged semantic
+// event stream (scheduler handoffs, RMA ops, lock protocol — everything
+// except the ClassCharge publication diagnostics) must be byte-identical,
+// and must replay cleanly through trace.Validate. Charge coalescing may
+// move *when* virtual time is published, but never when anything
+// observable happens; this test pins that at per-event granularity.
+// Runs under -race in CI (the race job's Differential pattern), which
+// also exercises the lock-free emission path of the fast engine.
+func TestDifferentialTraceStreams(t *testing.T) {
+	for _, scheme := range workload.Schemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			var baseCSV string
+			for i, ec := range engineCases {
+				sink := trace.New(trace.ClassSemantic)
+				spec := workload.Spec{
+					Scheme: scheme,
+					P:      16, ProcsPerNode: 4,
+					Seed:     13,
+					Iters:    10,
+					Profile:  workload.Uniform{FW: 0.5, NumLocks: 2},
+					Workload: &workload.SharedOp{},
+					Engine:   ec.engine, NoCoalesce: ec.noCoalesce,
+					Trace: sink,
+				}
+				if _, err := workload.Run(spec); err != nil {
+					t.Fatalf("%s: %v", ec.name, err)
+				}
+				events := sink.Events()
+				if err := trace.Validate(events); err != nil {
+					t.Fatalf("%s: replay validation: %v", ec.name, err)
+				}
+				var b strings.Builder
+				if err := trace.WriteCSV(&b, events); err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					baseCSV = b.String()
+					if len(events) == 0 {
+						t.Fatal("empty event stream")
+					}
+					continue
+				}
+				if b.String() != baseCSV {
+					t.Errorf("%s event stream diverged from %s (%d vs %d lines)",
+						ec.name, engineCases[0].name,
+						strings.Count(b.String(), "\n"), strings.Count(baseCSV, "\n"))
+					// Show the first diverging line for debugging.
+					a, bb := strings.Split(baseCSV, "\n"), strings.Split(b.String(), "\n")
+					for j := 0; j < len(a) && j < len(bb); j++ {
+						if a[j] != bb[j] {
+							t.Errorf("first divergence at line %d:\n a: %s\n b: %s", j, a[j], bb[j])
+							break
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"rmalocks/internal/locks/rmarw"
 	"rmalocks/internal/rma"
 	"rmalocks/internal/topology"
+	"rmalocks/internal/trace"
 )
 
 // Lock scheme names understood by the harness. The values match the
@@ -134,6 +135,15 @@ type Spec struct {
 	// NoCoalesce disables RMA charge coalescing (verification knob; see
 	// rma.Config.NoCoalesce).
 	NoCoalesce bool
+	// Trace, when non-nil, captures the run's event stream (see
+	// internal/trace) and fills Report.Fairness and
+	// Report.HandoffLocality from the measured phase. The sink is
+	// restarted by the run and left holding the full stream (warm-up
+	// included) for export or deeper analysis; it must not be shared by
+	// concurrent runs. Tracing never changes the simulation — traced
+	// and untraced runs are byte-identical up to the trace-only report
+	// fields (differential-tested).
+	Trace *trace.Sink
 }
 
 func (s *Spec) fill() {
@@ -175,7 +185,7 @@ func Run(spec Spec) (Report, error) {
 	spec.fill()
 	topo := topology.ForProcs(spec.P, spec.ProcsPerNode)
 	cfg := rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit,
-		Engine: spec.Engine, NoCoalesce: spec.NoCoalesce}
+		Engine: spec.Engine, NoCoalesce: spec.NoCoalesce, Trace: spec.Trace}
 	if spec.Latency != nil {
 		lat := spec.Latency(topo.MaxDistance())
 		cfg.Latency = &lat
@@ -261,8 +271,40 @@ func Run(spec Spec) (Report, error) {
 
 	rep := summarize(spec, m, start, bufs)
 	rep.DirectEntries = directEntries(set)
+	if spec.Trace != nil {
+		applyTraceMetrics(&rep, spec.Trace, topo, start, spec.Skip)
+	}
 	spec.Workload.Extract(m, &rep)
 	return rep, nil
+}
+
+// applyTraceMetrics fills the trace-derived report fields from the
+// measured phase (events at or after the post-warm-up barrier): the
+// Jain fairness index over participating ranks' lock acquisitions, and
+// the handoff-locality histogram — topology distance between
+// consecutive holders of each lock, the paper's locality claim made
+// measurable per cell.
+func applyTraceMetrics(rep *Report, sink *trace.Sink, topo *topology.Topology, start int64, skip func(rank, procs int) bool) {
+	events := sink.Events()
+	// Keep only the measured phase; warm-up handoffs would otherwise
+	// skew fairness between cells with different warm-up shares.
+	measured := events[:0:0]
+	for _, e := range events {
+		if e.Clock >= start {
+			measured = append(measured, e)
+		}
+	}
+	procs := topo.Procs()
+	counts := trace.Acquisitions(measured, procs)
+	participant := counts[:0:0]
+	for r := 0; r < procs; r++ {
+		if skip != nil && skip(r, procs) {
+			continue
+		}
+		participant = append(participant, counts[r])
+	}
+	rep.Fairness = trace.Jain(participant)
+	rep.HandoffLocality = trace.LocalityHist(measured, topo.Distance, topo.MaxDistance())
 }
 
 func specScheme(spec Spec) string {

@@ -15,8 +15,8 @@ import (
 // stop re-allocating report buffers. Nothing in a Report aliases a
 // runBufs, so pooling cannot change results.
 type runBufs struct {
-	rlat, wlat [][]float64
-	ends       []int64
+	rlat, wlat  [][]float64
+	ends        []int64
 	all, rs, ws []float64
 }
 
@@ -83,6 +83,16 @@ type Report struct {
 
 	// Extra holds workload-specific results (e.g. "stored" for DHTOps).
 	Extra map[string]float64
+
+	// Fairness is the Jain fairness index of per-rank lock acquisitions
+	// over the measured phase; HandoffLocality is the handoff-distance
+	// histogram (index = topology distance between consecutive holders
+	// of the same lock: 0 = re-acquire, 1 = intra-node, 2 = cross-node
+	// on a two-level machine). Both are computed only for traced runs
+	// (Spec.Trace) and omitted from JSON and the Fingerprint otherwise,
+	// so untraced baselines stay byte-identical to pre-trace ones.
+	Fairness        float64 `json:",omitempty"`
+	HandoffLocality []int64 `json:",omitempty"`
 }
 
 func (r Report) String() string {
@@ -92,7 +102,11 @@ func (r Report) String() string {
 
 // Fingerprint returns a canonical textual encoding of every field. Two
 // runs of the same Spec must produce byte-identical fingerprints; the
-// determinism regression tests rely on this.
+// determinism regression tests rely on this. The Extra map is encoded
+// in sorted-key order (map iteration order must never leak in), and the
+// trace-only fields are appended only when the run was traced, so
+// untraced fingerprints are byte-identical to those of pre-trace
+// baselines.
 func (r Report) Fingerprint() string {
 	keys := make([]string, 0, len(r.Extra))
 	for k := range r.Extra {
@@ -103,10 +117,14 @@ func (r Report) Fingerprint() string {
 	for _, k := range keys {
 		extra += fmt.Sprintf("%s=%v;", k, r.Extra[k])
 	}
-	return fmt.Sprintf("%s/%s/%s P=%d ops=%d r=%d w=%d warm=%d thr=%v lat=%+v rlat=%+v wlat=%+v mk=%v clk=%d rem=%d de=%d extra=%s",
+	tracePart := ""
+	if r.HandoffLocality != nil || r.Fairness != 0 {
+		tracePart = fmt.Sprintf(" fair=%v hloc=%v", r.Fairness, r.HandoffLocality)
+	}
+	return fmt.Sprintf("%s/%s/%s P=%d ops=%d r=%d w=%d warm=%d thr=%v lat=%+v rlat=%+v wlat=%+v mk=%v clk=%d rem=%d de=%d extra=%s%s",
 		r.Scheme, r.Workload, r.Profile, r.P, r.Ops, r.Reads, r.Writes, r.WarmupOps,
 		r.ThroughputMops, r.Latency, r.ReadLatency, r.WriteLatency,
-		r.MakespanMs, r.MaxClock, r.RemoteOps, r.DirectEntries, extra)
+		r.MakespanMs, r.MaxClock, r.RemoteOps, r.DirectEntries, extra, tracePart)
 }
 
 // summarize assembles a Report from the raw per-rank samples in b. The

@@ -19,9 +19,21 @@
 // deterministic, so results are exactly reproducible. See the examples/
 // directory for complete programs and DESIGN.md for how the simulation
 // maps to the paper's Cray XC30 testbed.
+//
+// # Tracing
+//
+// Every run can capture a deterministic event trace (scheduler
+// handoffs, RMA operations, lock acquire/release) at near-zero overhead
+// via the trace API: attach NewTraceSink to MachineSpec.Trace or
+// WorkloadSpec.Trace, then analyze the merged stream (AnalyzeTrace:
+// Jain fairness, handoff-locality histograms, wait depth) or export it
+// with WriteChromeTrace for Perfetto / chrome://tracing. See DESIGN.md,
+// "Tracing & analysis".
 package rmalocks
 
 import (
+	"io"
+
 	"rmalocks/internal/locks"
 	"rmalocks/internal/locks/dmcs"
 	"rmalocks/internal/locks/fompi"
@@ -30,6 +42,7 @@ import (
 	"rmalocks/internal/rma"
 	"rmalocks/internal/sweep"
 	"rmalocks/internal/topology"
+	"rmalocks/internal/trace"
 	"rmalocks/internal/workload"
 )
 
@@ -73,6 +86,9 @@ type MachineSpec struct {
 	// token-owned fast-path scheduler, "ref" for the reference engine
 	// (differential verification; see DESIGN.md).
 	Engine string
+	// Trace, when non-nil, captures the run's deterministic event
+	// stream (see NewTraceSink); tracing never changes the simulation.
+	Trace *TraceSink
 }
 
 // NewMachine builds a simulated machine from spec using the calibrated
@@ -90,7 +106,7 @@ func NewMachine(spec MachineSpec) *Machine {
 	} else {
 		topo = topology.TwoLevel(spec.Nodes, spec.ProcsPerNode)
 	}
-	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit, Engine: spec.Engine})
+	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit, Engine: spec.Engine, Trace: spec.Trace})
 }
 
 // NewMachineForProcs builds a two-level machine hosting exactly p
@@ -234,3 +250,61 @@ func LoadSweep(path string) (SweepRunFile, error) { return sweep.Load(path) }
 func CompareSweeps(base, cur []SweepCellResult) []SweepDelta {
 	return sweep.Compare(base, cur)
 }
+
+// Tracing & analysis (internal/trace, see DESIGN.md "Tracing &
+// analysis"): deterministic event capture of scheduler handoffs, RMA
+// operations and lock protocols, with fairness/locality analyses,
+// Perfetto-loadable exports, and replay validation. The merged stream
+// is byte-identical across scheduler engines and coalescing modes for
+// the semantic classes (differential-tested).
+type (
+	// TraceSink owns the per-rank event buffers of one traced run.
+	TraceSink = trace.Sink
+	// TraceEvent is one fixed-size captured event.
+	TraceEvent = trace.Event
+	// TraceClass is the bitmask of captured event classes.
+	TraceClass = trace.Class
+	// TraceAnalysis is the one-stop summary of a merged event stream.
+	TraceAnalysis = trace.Analysis
+)
+
+// Trace class masks re-exported for sink construction.
+const (
+	TraceSched    = trace.ClassSched
+	TraceOps      = trace.ClassOp
+	TraceLocks    = trace.ClassLock
+	TraceCharge   = trace.ClassCharge
+	TraceSemantic = trace.ClassSemantic
+	TraceAll      = trace.ClassAll
+)
+
+// NewTraceSink builds a trace sink capturing the given classes (0 =
+// the semantic set). Attach it to MachineSpec.Trace or
+// WorkloadSpec.Trace; read the canonical stream with Events() after
+// the run.
+func NewTraceSink(mask TraceClass) *TraceSink { return trace.New(mask) }
+
+// AnalyzeTrace summarizes a traced machine run: Jain fairness over
+// per-rank acquisitions, the handoff-locality histogram over the
+// machine's topology, wait-queue depth and per-rank acquire waits.
+func AnalyzeTrace(m *Machine, sink *TraceSink) TraceAnalysis {
+	topo := m.Topology()
+	return trace.Summarize(sink.Events(), topo.Procs(), topo.Distance, topo.MaxDistance())
+}
+
+// WriteChromeTrace exports a sink's stream as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing); label names the run.
+func WriteChromeTrace(w io.Writer, m *Machine, sink *TraceSink, label string) error {
+	topo := m.Topology()
+	return trace.WriteChrome(w, sink.Events(), trace.Meta{Label: label, P: topo.Procs(), PPN: topo.ProcsPerLeaf()})
+}
+
+// WriteTraceCSV exports a sink's stream as raw event CSV.
+func WriteTraceCSV(w io.Writer, sink *TraceSink) error {
+	return trace.WriteCSV(w, sink.Events())
+}
+
+// ValidateTrace replays a merged event stream and checks capture and
+// lock-protocol invariants (mutual exclusion, matched acquire/release,
+// canonical order); see trace.Validate.
+func ValidateTrace(events []TraceEvent) error { return trace.Validate(events) }

@@ -2,6 +2,7 @@ package rmalocks_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"rmalocks"
@@ -176,4 +177,54 @@ func TestSweepFacade(t *testing.T) {
 			t.Errorf("cell %s not identical after save/load round trip", d.Key)
 		}
 	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	// The documented tracing flow: attach a sink to a machine, run a
+	// locked program, analyze and export the stream via the facade.
+	sink := rmalocks.NewTraceSink(rmalocks.TraceAll)
+	machine := rmalocks.NewMachine(rmalocks.MachineSpec{Nodes: 2, ProcsPerNode: 4, Trace: sink})
+	lock := rmalocks.NewRMAMCS(machine, rmalocks.MCSParams{})
+	err := machine.Run(func(p *rmalocks.Proc) {
+		for i := 0; i < 5; i++ {
+			lock.Acquire(p)
+			p.Compute(100)
+			lock.Release(p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("no events captured")
+	}
+	if err := rmalocks.ValidateTrace(events); err != nil {
+		t.Fatalf("replay validation: %v", err)
+	}
+	a := rmalocks.AnalyzeTrace(machine, sink)
+	if want := int64(5 * machine.Procs()); sum64(a.Acquired) != want {
+		t.Fatalf("acquisitions = %d, want %d", sum64(a.Acquired), want)
+	}
+	if a.Fairness <= 0 || a.Fairness > 1 {
+		t.Fatalf("fairness = %v", a.Fairness)
+	}
+	var chrome, csv strings.Builder
+	if err := rmalocks.WriteChromeTrace(&chrome, machine, sink, "facade"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rmalocks.WriteTraceCSV(&csv, sink); err != nil {
+		t.Fatal(err)
+	}
+	if chrome.Len() == 0 || csv.Len() == 0 {
+		t.Fatal("empty export")
+	}
+}
+
+func sum64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
 }
