@@ -4,7 +4,7 @@ GO ?= go
 # `make compare` (re-run + per-cell diff against it).
 SWEEP_FLAGS = -profiles uniform,zipf,bursty,sweep -ps 16,32,64
 
-.PHONY: build test race bench bench-trajectory bench-smoke grid sweep compare trace clean
+.PHONY: build test race bench bench-trajectory bench-smoke grid sweep compare trace paramspace clean
 
 build:
 	$(GO) build ./...
@@ -33,14 +33,14 @@ bench:
 # hardcoding the next number. Run once per PR, after `make bench`.
 bench-trajectory: bench
 	$(GO) run ./cmd/benchjson -auto -in results/bench.txt \
-		-packages internal/sim,internal/workload,internal/sweep
+		-packages internal/sim,internal/workload,internal/sweep,internal/scheme
 
 # Short bench pass over the perf-critical packages only; CI's bench-smoke
 # job runs this and uploads both files as an artifact. The recorded PR
 # number is derived from the repository's trajectory files (next index).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100x \
-		./internal/sim/... ./internal/workload/ ./internal/sweep/ \
+		./internal/sim/... ./internal/workload/ ./internal/sweep/ ./internal/scheme/ \
 		> bench-smoke.txt
 	@cat bench-smoke.txt
 	$(GO) run ./cmd/benchjson -in bench-smoke.txt -out bench-smoke.json
@@ -71,6 +71,11 @@ trace:
 	$(GO) run ./cmd/workbench -schemes RMA-MCS,D-MCS -workloads empty \
 		-profiles uniform -p 32 -iters 40 -fw 1 -trace results/trace.json
 	$(GO) run ./cmd/traceview results/trace_*.json
+
+# The paper's parameter-space slice (scheme registry + tunables axis);
+# CI runs the -smoke variant.
+paramspace:
+	$(GO) run ./examples/paramspace
 
 clean:
 	rm -rf results bench-smoke.txt bench-smoke.json

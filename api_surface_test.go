@@ -1,0 +1,127 @@
+package rmalocks_test
+
+// Golden public-API surface test: a deterministic, gofmt'd go-doc-style
+// dump of every exported declaration of the rmalocks facade is diffed
+// against testdata/api_surface.txt, so any change to the public surface
+// is a deliberate, reviewed act. Regenerate the golden file with:
+//
+//	go test -run APISurface -update-api .
+//
+// The dump is built from the package source (go/parser + go/printer),
+// comments stripped, entries sorted — byte-stable across machines and
+// Go versions that keep printer formatting stable.
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api_surface.txt from the current source")
+
+func TestAPISurfaceGolden(t *testing.T) {
+	dump := apiSurface(t)
+	golden := filepath.Join("testdata", "api_surface.txt")
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(dump), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(dump))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden API surface (%v); regenerate with: go test -run APISurface -update-api .", err)
+	}
+	if dump == string(want) {
+		return
+	}
+	// Report a readable per-line diff, not two walls of text.
+	got, exp := strings.Split(dump, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(got) || i < len(exp); i++ {
+		var g, e string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(exp) {
+			e = exp[i]
+		}
+		if g != e {
+			t.Errorf("API surface drift at line %d:\n  have: %s\n  want: %s", i+1, g, e)
+		}
+	}
+	t.Error("public API surface changed; if intended, regenerate with: go test -run APISurface -update-api .")
+}
+
+// apiSurface renders every exported top-level declaration of the
+// facade package, one entry per declaration, sorted.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["rmalocks"]
+	if !ok {
+		t.Fatalf("package rmalocks not found (have %v)", pkgs)
+	}
+	var entries []string
+	emit := func(node any) {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, buf.String())
+	}
+	files := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		for _, decl := range pkg.Files[name].Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Recv != nil {
+					continue
+				}
+				d.Body = nil
+				emit(d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							emit(&ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{s}})
+						}
+					case *ast.ValueSpec:
+						exported := false
+						for _, n := range s.Names {
+							exported = exported || n.IsExported()
+						}
+						if exported {
+							emit(&ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{s}})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n\n") + "\n"
+}

@@ -9,6 +9,8 @@
 //	workbench                               # all 5 schemes × empty CS × uniform,zipf,bursty
 //	workbench -profiles all -ps 16,32,64,128,256,512   # the paper's P sweep
 //	workbench -schemes RMA-RW,foMPI-RW -workloads dht -fw 0.2 -locks 8
+//	workbench -schemes RMA-RW -tune TR=250,500,1000 -tune TL2=16,32
+//	                                        # sweep the paper's lock parameter space
 //	workbench -p 128 -iters 100 -seed 3 -check -csv -j 4
 //	workbench -out results/sweep.json       # persist a baseline
 //	workbench -baseline results/sweep.json  # diff against it (perf gate)
@@ -72,6 +74,8 @@ func main() {
 		traceOut  = flag.String("trace", "", "capture event traces and export Chrome trace-event JSON (Perfetto-loadable; summarize with traceview); multi-cell grids get one file per cell")
 		tracecsv  = flag.String("tracecsv", "", "capture event traces and export raw event CSV; multi-cell grids get one file per cell")
 	)
+	var tunes tuneAxes
+	flag.Var(&tunes, "tune", "tunables axis KEY=v1,v2,... (repeatable, e.g. -tune TR=250,500,1000 -tune TL2=16,32); cross-product applied to schemes accepting KEY")
 	flag.Parse()
 
 	// Validate before profiling starts: flag errors must exit cleanly,
@@ -92,6 +96,7 @@ func main() {
 			Ps:        parsePs(*psFlag, *p),
 			Iters:     *iters, ProcsPerNode: *ppn, Seed: *seed,
 			FW: *fw, Locks: *nlocks, ZipfS: *zipfS, Engine: *engine,
+			Tunables: tunes,
 		},
 		jobs: *jobs, check: *check, csv: *csv,
 		out: *out, baseline: *baseline, tol: *tol,
@@ -145,6 +150,9 @@ func run(opts runOpts) int {
 	grid := opts.grid
 	title := fmt.Sprintf("Workload grid: Ps=%v ppn=%d iters=%d seed=%d fw=%g",
 		grid.Ps, grid.ProcsPerNode, grid.Iters, grid.Seed, grid.FW)
+	if axes := (tuneAxes)(grid.Tunables); len(axes) > 0 {
+		title += " tune[" + axes.String() + "]"
+	}
 
 	start := time.Now()
 	cells := grid.Cells()
@@ -242,8 +250,11 @@ func exportTraces(path string, results []sweep.CellResult, ppn int, chrome bool)
 		p := path
 		if len(traced) > 1 {
 			ext := filepath.Ext(path)
-			slug := strings.NewReplacer("/", "-", " ", "").Replace(
-				fmt.Sprintf("%s_%s_%s_P%d", r.Key.Scheme, r.Key.Workload, r.Key.Profile, r.Key.P))
+			name := fmt.Sprintf("%s_%s_%s_P%d", r.Key.Scheme, r.Key.Workload, r.Key.Profile, r.Key.P)
+			if r.Key.Tunables != "" {
+				name += "_" + r.Key.Tunables
+			}
+			slug := strings.NewReplacer("/", "-", " ", "", ",", "_", "=", "").Replace(name)
 			p = fmt.Sprintf("%s_%02d_%s%s", strings.TrimSuffix(path, ext), i, slug, ext)
 		}
 		f, err := os.Create(p)
@@ -264,6 +275,51 @@ func exportTraces(path string, results []sweep.CellResult, ppn int, chrome bool)
 		}
 		fmt.Fprintf(os.Stderr, "[trace: %d events of cell %s written to %s]\n", len(events), r.Key, p)
 	}
+	return nil
+}
+
+// tuneAxes accumulates repeated -tune flags into sweep tunable axes.
+type tuneAxes []sweep.TunableAxis
+
+func (t *tuneAxes) String() string {
+	var parts []string
+	for _, ax := range *t {
+		vals := make([]string, len(ax.Values))
+		for i, v := range ax.Values {
+			vals[i] = strconv.FormatInt(v, 10)
+		}
+		parts = append(parts, ax.Key+"="+strings.Join(vals, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (t *tuneAxes) Set(s string) error {
+	key, list, ok := strings.Cut(s, "=")
+	key = strings.TrimSpace(key)
+	if !ok || key == "" {
+		return fmt.Errorf("want KEY=v1,v2,..., got %q", s)
+	}
+	for _, ax := range *t {
+		if ax.Key == key {
+			return fmt.Errorf("duplicate -tune axis %q", key)
+		}
+	}
+	var vals []int64
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q in -tune %s", part, s)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return fmt.Errorf("-tune %s has no values", s)
+	}
+	*t = append(*t, sweep.TunableAxis{Key: key, Values: vals})
 	return nil
 }
 

@@ -13,18 +13,25 @@ import (
 
 func main() {
 	// A 4-node machine with 8 processes per node (32 simulated ranks).
-	machine := rmalocks.NewMachine(rmalocks.MachineSpec{Nodes: 4, ProcsPerNode: 8})
+	machine, err := rmalocks.NewMachineErr(rmalocks.MachineSpec{Nodes: 4, ProcsPerNode: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// The paper's Reader-Writer lock with default parameters: one
-	// physical counter per node (T_DC), reader threshold T_R=1000 and
-	// locality thresholds T_L,i = 16 (so T_W = 256).
-	lock := rmalocks.NewRMARW(machine, rmalocks.RWParams{})
+	// The paper's Reader-Writer lock from the scheme registry, with its
+	// documented defaults: one physical counter per node (T_DC), reader
+	// threshold T_R=1000 and locality thresholds T_L,i = 32. Tunables
+	// are validated — try Tune("TR", -1) to see the typed error.
+	lock, err := rmalocks.NewLock(machine, "RMA-RW")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// One shared word on rank 0, protected by the lock.
 	counter := machine.Alloc(1)
 
 	const iters = 100
-	err := machine.Run(func(p *rmalocks.Proc) {
+	err = machine.Run(func(p *rmalocks.Proc) {
 		for i := 0; i < iters; i++ {
 			if p.Rank()%8 == 0 {
 				// Two writers per node increment the counter.
@@ -49,10 +56,8 @@ func main() {
 
 	writers := machine.Procs() / 8
 	fmt.Printf("machine:        %v\n", machine.Topology())
+	fmt.Printf("scheme:         %s (caps %v)\n", lock.Name(), lock.Caps())
 	fmt.Printf("counter:        %d (want %d)\n", machine.At(0, counter), writers*iters)
-	fmt.Printf("read acquires:  %d\n", lock.ReadAcquires)
-	fmt.Printf("write acquires: %d\n", lock.WriteAcquires)
-	fmt.Printf("mode changes:   %d (WRITE→READ hand-overs)\n", lock.ModeChanges)
 	fmt.Printf("virtual time:   %.3f ms\n", float64(machine.MaxClock())/1e6)
 	fmt.Printf("rma ops:        %v\n", machine.Stats())
 }

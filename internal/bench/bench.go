@@ -7,6 +7,7 @@ package bench
 import (
 	"fmt"
 
+	"rmalocks/internal/scheme"
 	"rmalocks/internal/stats"
 	"rmalocks/internal/workload"
 )
@@ -57,8 +58,9 @@ const (
 	SchemeFoMPIA  = "foMPI-A" // DHT only: raw atomics, no lock
 )
 
-// MutexSchemes lists the mutex comparison targets in presentation order.
-var MutexSchemes = []string{SchemeFoMPISpin, SchemeDMCS, SchemeRMAMCS}
+// MutexSchemes lists the mutex comparison targets in presentation
+// order, derived from the scheme registry (the writer-only schemes).
+var MutexSchemes = scheme.Mutexes()
 
 // ProcsPerNode is the paper's machine configuration: 16 MPI processes per
 // compute node (one per hardware thread).

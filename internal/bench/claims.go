@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"rmalocks/internal/scheme"
 	"rmalocks/internal/stats"
 	"rmalocks/internal/sweep"
 )
@@ -52,8 +53,9 @@ func VerifyClaims(sc Scale) ([]Claim, error) {
 		return err
 	})
 
-	// --- §5.2.4 measurements: RMA-RW vs foMPI-RW across F_W. ---
-	rwSchemes := []string{SchemeRMARW, SchemeFoMPIRW}
+	// --- §5.2.4 measurements: RMA-RW vs foMPI-RW across F_W
+	// (registry-derived: every scheme with reader-writer semantics). ---
+	rwSchemes := scheme.RWCapable()
 	rwFWs := []float64{0.002, 0.02, 0.05}
 	rwRes := make([]Result, len(rwSchemes)*len(rwFWs))
 	for i, scheme := range rwSchemes {
@@ -80,8 +82,9 @@ func VerifyClaims(sc Scale) ([]Claim, error) {
 		return err
 	})
 
-	// --- §5.3 measurements: the DHT case study. ---
-	dhtSchemes := []string{SchemeFoMPIA, SchemeFoMPIRW, SchemeRMARW}
+	// --- §5.3 measurements: the DHT case study — the lock-free
+	// foMPI-A baseline plus every RW-capable registry scheme. ---
+	dhtSchemes := append([]string{SchemeFoMPIA}, scheme.RWCapable()...)
 	dhtFWpair := []float64{0.05, 0.0}
 	dhtRes := make([]DHTResult, len(dhtSchemes)*len(dhtFWpair))
 	for i, scheme := range dhtSchemes {
@@ -105,8 +108,9 @@ func VerifyClaims(sc Scale) ([]Claim, error) {
 		lat[scheme] = mutexRes[i].Latency.Mean
 		thr[scheme] = mutexRes[i].ThroughputMops
 	}
-	rwThr := map[string]map[float64]float64{SchemeRMARW: {}, SchemeFoMPIRW: {}}
+	rwThr := map[string]map[float64]float64{}
 	for i, scheme := range rwSchemes {
+		rwThr[scheme] = map[float64]float64{}
 		for j, fw := range rwFWs {
 			rwThr[scheme][fw] = rwRes[i*len(rwFWs)+j].ThroughputMops
 		}

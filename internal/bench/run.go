@@ -3,8 +3,20 @@ package bench
 import (
 	"fmt"
 
+	"rmalocks/internal/scheme"
 	"rmalocks/internal/workload"
 )
+
+// isRWScheme reports whether the registry lists the scheme as having
+// genuine reader-writer semantics.
+func isRWScheme(name string) bool {
+	for _, s := range scheme.RWCapable() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
 
 // The three Run* entry points below are thin adapters over the unified
 // workload subsystem (internal/workload): they translate the historical
@@ -94,9 +106,10 @@ func validMutexScheme(scheme string) error {
 
 // RunRW executes one reader/writer benchmark. Each iteration is a write
 // with probability FW, a read otherwise (deterministic per-process RNG).
+// Any registry scheme with reader-writer semantics is accepted.
 func RunRW(params RWParams) (Result, error) {
 	params.fill()
-	if params.Scheme != SchemeFoMPIRW && params.Scheme != SchemeRMARW {
+	if !isRWScheme(params.Scheme) {
 		return Result{}, fmt.Errorf("bench: unknown RW scheme %q", params.Scheme)
 	}
 	wl, prof := wlFor(params.Workload, params.FW)
@@ -165,9 +178,7 @@ func RunDHT(params DHTParams) (DHTResult, error) {
 	if params.Cells == 0 {
 		params.Cells = params.P*params.OpsPerProc + 16
 	}
-	switch params.Scheme {
-	case SchemeFoMPIA, SchemeFoMPIRW, SchemeRMARW:
-	default:
+	if params.Scheme != SchemeFoMPIA && !isRWScheme(params.Scheme) {
 		return DHTResult{}, fmt.Errorf("bench: unknown DHT scheme %q", params.Scheme)
 	}
 	atomic := params.Scheme == SchemeFoMPIA

@@ -1,0 +1,35 @@
+package fompi
+
+import (
+	"rmalocks/internal/rma"
+	"rmalocks/internal/scheme"
+)
+
+// Canonical registry names of the two foMPI baselines.
+const (
+	SchemeSpin = "foMPI-Spin"
+	SchemeRW   = "foMPI-RW"
+)
+
+func init() {
+	scheme.MustRegister(scheme.Descriptor{
+		Name:    SchemeSpin,
+		Aliases: []string{"fompi-spin", "spin"},
+		Doc:     "foMPI-style centralized test-and-CAS spinlock baseline (all traffic on one rank)",
+		Caps:    scheme.CapMutex,
+		Order:   10,
+		New: func(m *rma.Machine, t scheme.Tunables) (scheme.Lock, error) {
+			return scheme.WrapMutex(SchemeSpin, NewSpin(m)), nil
+		},
+	})
+	scheme.MustRegister(scheme.Descriptor{
+		Name:    SchemeRW,
+		Aliases: []string{"fompi-rw"},
+		Doc:     "foMPI-style centralized Reader-Writer lock baseline (reader count + writer bit on one word)",
+		Caps:    scheme.CapMutex | scheme.CapRW,
+		Order:   40,
+		New: func(m *rma.Machine, t scheme.Tunables) (scheme.Lock, error) {
+			return scheme.WrapRW(SchemeRW, NewRW(m)), nil
+		},
+	})
+}

@@ -29,6 +29,10 @@ import (
 // WRITE mode (the paper uses INT64_MAX/2; any value far above T_R works).
 const Bias int64 = 1 << 62
 
+// DefaultTL is the default locality threshold T_L,i for every level
+// (the paper's default, matching rmamcs.DefaultTL).
+const DefaultTL int64 = 32
+
 // Config selects the three performance parameters of the lock (Figure 1's
 // parameter space).
 type Config struct {
@@ -40,7 +44,7 @@ type Config struct {
 	// Default 1000.
 	TR int64
 	// TL[i] is T_L,i for level i (1-based; TL[0] ignored; zero entries
-	// default to 16). T_W is always Π T_L,i per the paper.
+	// default to DefaultTL). T_W is always Π T_L,i per the paper.
 	TL []int64
 }
 
@@ -81,8 +85,21 @@ func (l *Lock) trace(event string, rank int, v int64) {
 // New allocates an RMA-RW lock with default parameters.
 func New(m *rma.Machine) *Lock { return NewConfig(m, Config{}) }
 
-// NewConfig allocates an RMA-RW lock with explicit parameters.
+// NewConfig allocates an RMA-RW lock with explicit parameters; it
+// panics on invalid ones (the validating form is NewConfigErr, which
+// the scheme registry dispatches through).
 func NewConfig(m *rma.Machine, cfg Config) *Lock {
+	l, err := NewConfigErr(m, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return l
+}
+
+// NewConfigErr allocates an RMA-RW lock with explicit parameters,
+// returning a descriptive error for out-of-range ones instead of
+// panicking.
+func NewConfigErr(m *rma.Machine, cfg Config) (*Lock, error) {
 	topo := m.Topology()
 	n := topo.Levels()
 	tdc := cfg.TDC
@@ -90,21 +107,30 @@ func NewConfig(m *rma.Machine, cfg Config) *Lock {
 		tdc = topo.ProcsPerLeaf()
 	}
 	if tdc < 1 {
-		panic(fmt.Sprintf("rmarw: TDC must be >= 1, got %d", tdc))
+		return nil, fmt.Errorf("rmarw: TDC must be >= 1, got %d", tdc)
 	}
 	tr := cfg.TR
 	if tr == 0 {
 		tr = 1000
 	}
 	if tr < 1 || tr >= Bias/2 {
-		panic(fmt.Sprintf("rmarw: TR out of range: %d", tr))
+		return nil, fmt.Errorf("rmarw: TR out of range: %d", tr)
 	}
 	tl := make([]int64, n+1)
 	for i := 1; i <= n; i++ {
-		tl[i] = 16
+		tl[i] = DefaultTL
 		if i < len(cfg.TL) && cfg.TL[i] > 0 {
 			tl[i] = cfg.TL[i]
 		}
+	}
+	// Pre-check Π T_L,i before any window allocation happens, so an
+	// invalid configuration leaves the machine untouched.
+	prod := int64(1)
+	for i := 1; i <= n; i++ {
+		if tl[i] >= math.MaxInt64/prod {
+			return nil, fmt.Errorf("rmarw: T_W overflow; choose smaller T_L,i")
+		}
+		prod *= tl[i]
 	}
 	l := &Lock{
 		topo:         topo,
@@ -114,11 +140,10 @@ func NewConfig(m *rma.Machine, cfg Config) *Lock {
 		counterRanks: topo.CounterRanks(tdc),
 		id:           m.RegisterLock(),
 	}
+	// The pre-check above already bounds Π T_L,i strictly below
+	// MaxInt64, so ProductTL cannot saturate here.
 	l.tree = locks.NewDQTree(m, tl)
 	l.tw = l.tree.ProductTL()
-	if l.tw == math.MaxInt64 {
-		panic("rmarw: T_W overflow; choose smaller T_L,i")
-	}
 	l.arriveOff = m.Alloc(1)
 	l.departOff = m.Alloc(1)
 	l.rlockOff = m.Alloc(1)
@@ -131,7 +156,7 @@ func NewConfig(m *rma.Machine, cfg Config) *Lock {
 		l.ReadAcquires, l.WriteAcquires = 0, 0
 		l.ModeChanges, l.ReaderBackoffs = 0, 0
 	})
-	return l
+	return l, nil
 }
 
 // TW returns the writer threshold T_W = Π T_L,i.

@@ -75,8 +75,8 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 	if l.TR() != 1000 {
 		t.Errorf("default TR=%d want 1000", l.TR())
 	}
-	if l.TW() != 16*16 {
-		t.Errorf("default TW=%d want 256", l.TW())
+	if l.TW() != DefaultTL*DefaultTL {
+		t.Errorf("default TW=%d want %d", l.TW(), DefaultTL*DefaultTL)
 	}
 	if got := len(l.CounterRanks()); got != 2 {
 		t.Errorf("counters=%d want 2", got)

@@ -139,8 +139,8 @@ func TestPercentileGoldenValues(t *testing.T) {
 	}{
 		{"single-any-p", []float64{42}, 50, 42},
 		{"single-p95", []float64{42}, 95, 42},
-		{"two-p50-midpoint", []float64{1, 3}, 50, 2},    // nearest-rank would give 1 or 3
-		{"two-p95", []float64{1, 3}, 95, 2.9},           // 1*(0.05) + 3*(0.95)
+		{"two-p50-midpoint", []float64{1, 3}, 50, 2}, // nearest-rank would give 1 or 3
+		{"two-p95", []float64{1, 3}, 95, 2.9},        // 1*(0.05) + 3*(0.95)
 		{"two-p25", []float64{10, 20}, 25, 12.5},
 		{"five-p50-exact", []float64{10, 20, 30, 40, 50}, 50, 30},
 		{"five-p95", []float64{10, 20, 30, 40, 50}, 95, 48}, // rank 3.8 → 40*0.2+50*0.8

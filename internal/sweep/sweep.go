@@ -20,22 +20,33 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rmalocks/internal/scheme"
 	"rmalocks/internal/stats"
 	"rmalocks/internal/trace"
 	"rmalocks/internal/workload"
 )
 
 // Key identifies one grid cell: the coordinates of the paper's
-// scheme × workload × profile × P parameter space (§5).
+// scheme × workload × profile × P parameter space (§5), plus the
+// scheme-tunables coordinate of its lock parameter space (Figure 1).
 type Key struct {
 	Scheme   string `json:"scheme"`
 	Workload string `json:"workload"`
 	Profile  string `json:"profile"`
 	P        int    `json:"p"`
+	// Tunables is the canonical "K1=V1,K2=V2" encoding (sorted keys,
+	// see internal/scheme) of the cell's scheme tunables; empty — and
+	// omitted from JSON, keeping pre-tunables baselines byte-identical —
+	// when the cell uses scheme defaults.
+	Tunables string `json:"tunables,omitempty"`
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/%s/P=%d", k.Scheme, k.Workload, k.Profile, k.P)
+	s := fmt.Sprintf("%s/%s/%s/P=%d", k.Scheme, k.Workload, k.Profile, k.P)
+	if k.Tunables != "" {
+		s += "/" + k.Tunables
+	}
+	return s
 }
 
 // Cell is one independent simulation of a sweep.
@@ -152,9 +163,9 @@ func runOnce(c Cell) (workload.Report, int, *trace.Sink, error) {
 	return rep, locks, spec.Trace, err
 }
 
-// Grid enumerates a scheme × workload × profile × P parameter space
-// with shared cell parameters. Zero fields select the defaults of the
-// paper's evaluation setup (fill).
+// Grid enumerates a scheme × workload × profile × P (× tunables, see
+// Tunables) parameter space with shared cell parameters. Zero fields
+// select the defaults of the paper's evaluation setup (fill).
 type Grid struct {
 	// Schemes, Workloads and Profiles name the axes (workload.Schemes,
 	// workload.WorkloadNames, workload.ProfileNames).
@@ -182,8 +193,18 @@ type Grid struct {
 	// ThinkNs / ThinkJitterNs set post-release think time.
 	ThinkNs       int64
 	ThinkJitterNs int64
-	// Params tunes the lock schemes.
+	// Params tunes the lock schemes (legacy struct form, applied to
+	// every cell; see Tunables for the sweepable axis).
 	Params workload.SchemeParams
+	// Tunables adds the paper's lock parameter space as grid axes: the
+	// cross-product of every axis' values becomes extra cells, innermost
+	// in the canonical order, with the combination folded into each
+	// cell's Key and report fingerprint. An axis applies only to the
+	// schemes whose registry descriptor accepts its key (e.g. a TR axis
+	// sweeps RMA-RW but leaves foMPI-Spin with a single untuned cell),
+	// so mixed-scheme grids stay enumerable. An empty list reproduces
+	// the pre-tunables grid byte-identically.
+	Tunables []TunableAxis
 	// Engine selects the scheduler implementation for every cell ("" or
 	// "fast" = token-owned fast path, "ref" = reference engine); the
 	// workbench -engine flag exposes it for ad-hoc differential sweeps.
@@ -217,17 +238,80 @@ func (g Grid) fill() Grid {
 	return g
 }
 
+// TunableAxis is one sweepable dimension of the paper's lock parameter
+// space: a tunable key (registry form, e.g. "TR" or "TL2") and the
+// values to enumerate.
+type TunableAxis struct {
+	Key    string
+	Values []int64
+}
+
+// combos expands the cross-product of the axes in declaration order
+// (first axis outermost). No axes — or axes with no values — yield the
+// single empty combination. Axis keys must be distinct; a repeated key
+// is skipped (first axis wins), because its cross-product would
+// enumerate duplicate cell Keys that silently collide in Compare.
+func combos(axes []TunableAxis) []scheme.Tunables {
+	out := []scheme.Tunables{nil}
+	seen := map[string]bool{}
+	for _, ax := range axes {
+		if len(ax.Values) == 0 || seen[ax.Key] {
+			continue
+		}
+		seen[ax.Key] = true
+		next := make([]scheme.Tunables, 0, len(out)*len(ax.Values))
+		for _, base := range out {
+			for _, v := range ax.Values {
+				t := base.Clone()
+				if t == nil {
+					t = scheme.Tunables{}
+				}
+				t[ax.Key] = v
+				next = append(next, t)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// axesFor projects the grid's tunable axes onto one scheme: only axes
+// whose key the scheme's descriptor accepts take part in its
+// cross-product, so a mixed-scheme grid never enumerates meaningless
+// (and duplicate-keyed) cells. Unknown schemes keep every axis; the
+// run surfaces the registry's typed error.
+func axesFor(schemeName string, axes []TunableAxis) []TunableAxis {
+	if len(axes) == 0 {
+		return nil
+	}
+	d, err := scheme.Describe(schemeName)
+	if err != nil {
+		return axes
+	}
+	var out []TunableAxis
+	for _, ax := range axes {
+		if d.Accepts(ax.Key, 0) {
+			out = append(out, ax)
+		}
+	}
+	return out
+}
+
 // Cells enumerates the grid in canonical order: scheme outermost, then
-// workload, then profile, then P. Reports, baselines and diffs all
-// follow this order.
+// workload, then profile, then P, then the tunables cross-product
+// (first axis outermost). Reports, baselines and diffs all follow this
+// order.
 func (g Grid) Cells() []Cell {
 	g = g.fill()
 	var cells []Cell
-	for _, scheme := range g.Schemes {
+	for _, schemeName := range g.Schemes {
+		tuns := combos(axesFor(schemeName, g.Tunables))
 		for _, wname := range g.Workloads {
 			for _, pname := range g.Profiles {
 				for _, p := range g.Ps {
-					cells = append(cells, g.cell(scheme, wname, pname, p))
+					for _, tun := range tuns {
+						cells = append(cells, g.cell(schemeName, wname, pname, p, tun))
+					}
 				}
 			}
 		}
@@ -235,9 +319,9 @@ func (g Grid) Cells() []Cell {
 	return cells
 }
 
-func (g Grid) cell(scheme, wname, pname string, p int) Cell {
+func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables) Cell {
 	return Cell{
-		Key: Key{Scheme: scheme, Workload: wname, Profile: pname, P: p},
+		Key: Key{Scheme: schemeName, Workload: wname, Profile: pname, P: p, Tunables: tun.Canonical()},
 		Spec: func() (workload.Spec, error) {
 			wl, err := workload.ByName(wname)
 			if err != nil {
@@ -256,7 +340,7 @@ func (g Grid) cell(scheme, wname, pname string, p int) Cell {
 				return workload.Spec{}, err
 			}
 			spec := workload.Spec{
-				Scheme:       scheme,
+				Scheme:       schemeName,
 				P:            p,
 				ProcsPerNode: g.ProcsPerNode,
 				Seed:         g.Seed,
@@ -264,6 +348,7 @@ func (g Grid) cell(scheme, wname, pname string, p int) Cell {
 				Profile:      prof,
 				Workload:     wl,
 				Params:       g.Params,
+				Tunables:     tun.Clone(),
 				Engine:       g.Engine,
 			}
 			if g.Trace != 0 {
@@ -280,7 +365,7 @@ func (g Grid) cell(scheme, wname, pname string, p int) Cell {
 func Table(title string, results []CellResult) *stats.Table {
 	t := &stats.Table{
 		Title: title,
-		Columns: []string{"Scheme", "Workload", "Profile", "P", "Locks",
+		Columns: []string{"Scheme", "Workload", "Profile", "P", "Tunables", "Locks",
 			"Mops", "MeanLat[us]", "P95Lat[us]", "Makespan[ms]", "Reads", "Writes", "Jain", "Extra"},
 	}
 	for _, r := range results {
@@ -289,11 +374,19 @@ func Table(title string, results []CellResult) *stats.Table {
 		if rep.HandoffLocality != nil {
 			jain = stats.FmtF(rep.Fairness)
 		}
-		t.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(rep.P), fmt.Sprint(r.Locks),
+		t.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(rep.P), orDash(r.Key.Tunables), fmt.Sprint(r.Locks),
 			stats.FmtF(rep.ThroughputMops), stats.FmtF(rep.Latency.Mean), stats.FmtF(rep.Latency.P95),
 			stats.FmtF(rep.MakespanMs), fmt.Sprint(rep.Reads), fmt.Sprint(rep.Writes), jain, extraString(rep))
 	}
 	return t
+}
+
+// orDash renders an optional string cell.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // extraString flattens workload-specific extras into one cell, in a

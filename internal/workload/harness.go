@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"strconv"
 
 	"rmalocks/internal/locks"
 	"rmalocks/internal/locks/dmcs"
@@ -9,26 +10,31 @@ import (
 	"rmalocks/internal/locks/rmamcs"
 	"rmalocks/internal/locks/rmarw"
 	"rmalocks/internal/rma"
+	"rmalocks/internal/scheme"
 	"rmalocks/internal/topology"
 	"rmalocks/internal/trace"
 )
 
-// Lock scheme names understood by the harness. The values match the
-// presentation names used by internal/bench and the paper's evaluation.
+// Lock scheme names understood by the harness, aliased from the lock
+// packages' registry names so the layers cannot drift.
 const (
-	SchemeFoMPISpin = "foMPI-Spin"
-	SchemeDMCS      = "D-MCS"
-	SchemeRMAMCS    = "RMA-MCS"
-	SchemeFoMPIRW   = "foMPI-RW"
-	SchemeRMARW     = "RMA-RW"
+	SchemeFoMPISpin = fompi.SchemeSpin
+	SchemeDMCS      = dmcs.SchemeName
+	SchemeRMAMCS    = rmamcs.SchemeName
+	SchemeFoMPIRW   = fompi.SchemeRW
+	SchemeRMARW     = rmarw.SchemeName
 )
 
-// Schemes lists every lock scheme the harness can run: the three mutexes
-// (run through locks.WriterOnly) followed by the two RW locks.
-var Schemes = []string{SchemeFoMPISpin, SchemeDMCS, SchemeRMAMCS, SchemeFoMPIRW, SchemeRMARW}
+// Schemes lists every lock scheme the harness can run, derived from the
+// scheme registry in presentation order: the mutexes (run through a
+// writer-only adaptation) followed by the RW locks.
+var Schemes = scheme.Names()
 
 // SchemeParams carries the per-scheme tuning knobs of the paper's
 // parameter space; zero fields select the defaults of internal/bench.
+// It predates the registry's typed Tunables (Spec.Tunables), which
+// override it key by key; keys a scheme does not declare are dropped,
+// matching the historical leniency of the per-scheme switch.
 type SchemeParams struct {
 	// TL holds the locality thresholds T_L,i (RMA-MCS and RMA-RW).
 	TL []int64
@@ -39,42 +45,72 @@ type SchemeParams struct {
 	TR int64
 }
 
-// NewLockSet builds n instances of the named scheme on m, wrapping the
-// plain mutex schemes in locks.WriterOnly so every scheme presents the
-// RWMutex interface. Call before m.Run.
-func NewLockSet(m *rma.Machine, scheme string, n int, ps SchemeParams) ([]locks.RWMutex, error) {
+// tunables merges the legacy SchemeParams (lenient: keys the scheme
+// does not declare are dropped, zero fields stay unset) with the typed
+// tunables (strict: validated by the registry), tun winning key by key.
+// When the RMA-RW scheme ends up with no locality thresholds at all, it
+// receives the harness default T_L,1..2 = (40, 25) — T_W = 1000, the
+// paper's Fig. 4c middle — as the historical per-scheme switch did.
+// Levels below 2 (machines with racks) take the scheme default
+// (rmarw.DefaultTL, the paper's 32); the harness's own runs always
+// build two-level machines (topology.ForProcs), so their reports are
+// unaffected by that default.
+func tunables(d *scheme.Descriptor, m *rma.Machine, ps SchemeParams, tun scheme.Tunables) scheme.Tunables {
+	levels := m.Topology().Levels()
+	t := scheme.Tunables{}
+	if ps.TDC != 0 && d.Accepts("TDC", levels) {
+		t["TDC"] = int64(ps.TDC)
+	}
+	if ps.TR != 0 && d.Accepts("TR", levels) {
+		t["TR"] = ps.TR
+	}
+	for i := 1; i < len(ps.TL) && i <= levels; i++ {
+		if key := "TL" + strconv.Itoa(i); ps.TL[i] > 0 && d.Accepts(key, levels) {
+			t[key] = ps.TL[i]
+		}
+	}
+	for k, v := range tun {
+		t[k] = v
+	}
+	if d.Name == SchemeRMARW && ps.TL == nil && !hasLevelKey(t, "TL", levels) {
+		harnessTL := []int64{0, 40, 25}
+		for i := 1; i < len(harnessTL) && i <= levels; i++ {
+			t["TL"+strconv.Itoa(i)] = harnessTL[i]
+		}
+	}
+	return t
+}
+
+func hasLevelKey(t scheme.Tunables, base string, levels int) bool {
+	for i := 1; i <= levels; i++ {
+		if _, ok := t[base+strconv.Itoa(i)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// NewLockSet builds n instances of the named scheme on m through the
+// scheme registry, so every scheme presents the RWMutex interface
+// (mutex-only schemes through a writer-only adaptation). tun overrides
+// ps key by key and is validated strictly (typed errors for unknown or
+// out-of-range tunables). Call before m.Run.
+func NewLockSet(m *rma.Machine, name string, n int, ps SchemeParams, tun scheme.Tunables) ([]locks.RWMutex, error) {
 	if n < 1 {
 		n = 1
 	}
-	tdc := ps.TDC
-	if tdc == 0 {
-		tdc = m.Topology().ProcsPerLeaf()
+	d, err := scheme.Describe(name)
+	if err != nil {
+		return nil, err
 	}
-	tr := ps.TR
-	if tr == 0 {
-		tr = 1000
-	}
-	tl := ps.TL
+	t := tunables(&d, m, ps, tun)
 	set := make([]locks.RWMutex, n)
 	for i := range set {
-		switch scheme {
-		case SchemeFoMPISpin:
-			set[i] = locks.WriterOnly{Mu: fompi.NewSpin(m)}
-		case SchemeDMCS:
-			set[i] = locks.WriterOnly{Mu: dmcs.New(m)}
-		case SchemeRMAMCS:
-			set[i] = locks.WriterOnly{Mu: rmamcs.NewConfig(m, rmamcs.Config{TL: tl})}
-		case SchemeFoMPIRW:
-			set[i] = fompi.NewRW(m)
-		case SchemeRMARW:
-			rwTL := tl
-			if rwTL == nil {
-				rwTL = []int64{0, 40, 25} // T_W = 1000 (the paper's Fig. 4c middle)
-			}
-			set[i] = rmarw.NewConfig(m, rmarw.Config{TDC: tdc, TR: tr, TL: rwTL})
-		default:
-			return nil, errUnknown("scheme", scheme, Schemes)
+		l, err := scheme.New(m, name, t)
+		if err != nil {
+			return nil, err
 		}
+		set[i] = l
 	}
 	return set, nil
 }
@@ -120,8 +156,17 @@ type Spec struct {
 	Profile Profile
 	// Workload is the critical-section body (default Empty).
 	Workload Workload
-	// Params tunes the scheme.
+	// Params tunes the scheme (legacy struct form; see Tunables).
 	Params SchemeParams
+	// Tunables sets scheme tunables by registry key (the paper's typed
+	// parameter space, e.g. "TR": 500, "TL2": 16), overriding Params
+	// key by key. Unlike Params, Tunables are validated strictly:
+	// unknown keys or out-of-range values fail the run with a typed
+	// error from internal/scheme. Non-empty tunables are recorded in
+	// Report.Tunables and its fingerprint; empty tunables leave reports
+	// byte-identical to pre-registry baselines. Ignored when NoLock or
+	// Make is set.
+	Tunables scheme.Tunables
 	// Skip marks ranks that sit out the benchmark loop (they still
 	// participate in the start barrier and then exit, like the paper's
 	// DHT volume host).
@@ -199,7 +244,7 @@ func Run(spec Spec) (Report, error) {
 	case spec.Make != nil:
 		set, err = spec.Make(m, spec.Profile.Locks())
 	default:
-		set, err = NewLockSet(m, spec.Scheme, spec.Profile.Locks(), spec.Params)
+		set, err = NewLockSet(m, spec.Scheme, spec.Profile.Locks(), spec.Params, spec.Tunables)
 	}
 	if err != nil {
 		return Report{}, err
@@ -271,6 +316,9 @@ func Run(spec Spec) (Report, error) {
 
 	rep := summarize(spec, m, start, bufs)
 	rep.DirectEntries = directEntries(set)
+	if !spec.NoLock && spec.Make == nil && len(spec.Tunables) > 0 {
+		rep.Tunables = spec.Tunables.Canonical()
+	}
 	if spec.Trace != nil {
 		applyTraceMetrics(&rep, spec.Trace, topo, start, spec.Skip)
 	}
@@ -319,14 +367,21 @@ func specScheme(spec Spec) string {
 }
 
 // directEntries sums the intra-element shortcut count over every RMA-MCS
-// lock in the set (0 for other schemes), unwrapping WriterOnly.
+// lock in the set (0 for other schemes), unwrapping both the registry's
+// Lock handle and the legacy WriterOnly adaptation (custom Make
+// factories).
 func directEntries(set []locks.RWMutex) int64 {
 	var n int64
 	for _, l := range set {
-		if w, ok := l.(locks.WriterOnly); ok {
-			if rl, ok := w.Mu.(*rmamcs.Lock); ok {
-				n += rl.DirectEntries
-			}
+		impl := any(l)
+		if sl, ok := l.(scheme.Lock); ok {
+			impl = sl.Underlying()
+		}
+		if w, ok := impl.(locks.WriterOnly); ok {
+			impl = w.Mu
+		}
+		if rl, ok := impl.(*rmamcs.Lock); ok {
+			n += rl.DirectEntries
 		}
 	}
 	return n

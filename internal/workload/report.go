@@ -51,6 +51,12 @@ type Report struct {
 	Profile  string
 	// P is the process count of the machine.
 	P int
+	// Tunables is the canonical encoding of the scheme tunables the run
+	// was constructed with ("TL2=16,TR=500", sorted keys; see
+	// internal/scheme). Empty when the run used no explicit tunables,
+	// and then omitted from JSON and the Fingerprint, so pre-registry
+	// baselines stay byte-identical.
+	Tunables string `json:",omitempty"`
 
 	// Ops is the number of measured cycles (Reads + Writes); WarmupOps
 	// counts the discarded warm-up cycles.
@@ -121,10 +127,14 @@ func (r Report) Fingerprint() string {
 	if r.HandoffLocality != nil || r.Fairness != 0 {
 		tracePart = fmt.Sprintf(" fair=%v hloc=%v", r.Fairness, r.HandoffLocality)
 	}
-	return fmt.Sprintf("%s/%s/%s P=%d ops=%d r=%d w=%d warm=%d thr=%v lat=%+v rlat=%+v wlat=%+v mk=%v clk=%d rem=%d de=%d extra=%s%s",
+	tunPart := ""
+	if r.Tunables != "" {
+		tunPart = fmt.Sprintf(" tun=%s", r.Tunables)
+	}
+	return fmt.Sprintf("%s/%s/%s P=%d ops=%d r=%d w=%d warm=%d thr=%v lat=%+v rlat=%+v wlat=%+v mk=%v clk=%d rem=%d de=%d extra=%s%s%s",
 		r.Scheme, r.Workload, r.Profile, r.P, r.Ops, r.Reads, r.Writes, r.WarmupOps,
 		r.ThroughputMops, r.Latency, r.ReadLatency, r.WriteLatency,
-		r.MakespanMs, r.MaxClock, r.RemoteOps, r.DirectEntries, extra, tracePart)
+		r.MakespanMs, r.MaxClock, r.RemoteOps, r.DirectEntries, extra, tracePart, tunPart)
 }
 
 // summarize assembles a Report from the raw per-rank samples in b. The

@@ -8,12 +8,22 @@
 // # Quick start
 //
 //	machine := rmalocks.NewMachine(rmalocks.MachineSpec{Nodes: 4, ProcsPerNode: 16})
-//	lock := rmalocks.NewRMARW(machine, rmalocks.RWParams{})
-//	err := machine.Run(func(p *rmalocks.Proc) {
+//	lock, err := rmalocks.NewLock(machine, "RMA-RW",
+//		rmalocks.Tune("TR", 500), rmalocks.TuneLevels("TL", 16, 32))
+//	if err != nil { ... }
+//	err = machine.Run(func(p *rmalocks.Proc) {
 //		lock.AcquireRead(p)
 //		// ... read shared state ...
 //		lock.ReleaseRead(p)
 //	})
+//
+// NewLock dispatches through the capability-based scheme registry
+// (internal/scheme): Schemes lists every registered lock scheme,
+// Describe returns a scheme's capabilities and its typed tunables —
+// the paper's T_DC, T_R, T_L,i parameter space (Figure 1) — with
+// documented defaults and validity ranges, and construction validates
+// tunables instead of silently defaulting. The per-scheme constructors
+// (NewRMARW, NewRMAMCS, ...) remain as deprecated thin wrappers.
 //
 // The machine runs one goroutine per simulated process; virtual time is
 // deterministic, so results are exactly reproducible. See the examples/
@@ -32,7 +42,9 @@
 package rmalocks
 
 import (
+	"fmt"
 	"io"
+	"strconv"
 
 	"rmalocks/internal/locks"
 	"rmalocks/internal/locks/dmcs"
@@ -40,6 +52,7 @@ import (
 	"rmalocks/internal/locks/rmamcs"
 	"rmalocks/internal/locks/rmarw"
 	"rmalocks/internal/rma"
+	"rmalocks/internal/scheme"
 	"rmalocks/internal/sweep"
 	"rmalocks/internal/topology"
 	"rmalocks/internal/trace"
@@ -92,8 +105,22 @@ type MachineSpec struct {
 }
 
 // NewMachine builds a simulated machine from spec using the calibrated
-// default latency model.
+// default latency model. It panics on an invalid spec (negative fields,
+// Nodes not a multiple of Racks); NewMachineErr is the validating form.
 func NewMachine(spec MachineSpec) *Machine {
+	m, err := NewMachineErr(spec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// NewMachineErr builds a simulated machine from spec, returning a
+// descriptive error instead of panicking when the spec is invalid:
+// non-positive Nodes or ProcsPerNode, a negative Racks, or Nodes not a
+// multiple of Racks (each rack must hold the same number of compute
+// nodes).
+func NewMachineErr(spec MachineSpec) (*Machine, error) {
 	if spec.Nodes == 0 {
 		spec.Nodes = 1
 	}
@@ -101,12 +128,19 @@ func NewMachine(spec MachineSpec) *Machine {
 		spec.ProcsPerNode = 16
 	}
 	var topo *Topology
-	if spec.Racks > 0 {
-		topo = topology.MustNew([]int{1, spec.Racks, spec.Nodes}, spec.ProcsPerNode)
+	var err error
+	if spec.Racks != 0 {
+		if spec.Racks < 0 {
+			return nil, fmt.Errorf("rmalocks: invalid MachineSpec: negative Racks %d", spec.Racks)
+		}
+		topo, err = topology.New([]int{1, spec.Racks, spec.Nodes}, spec.ProcsPerNode)
 	} else {
-		topo = topology.TwoLevel(spec.Nodes, spec.ProcsPerNode)
+		topo, err = topology.New([]int{1, spec.Nodes}, spec.ProcsPerNode)
 	}
-	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit, Engine: spec.Engine, Trace: spec.Trace})
+	if err != nil {
+		return nil, fmt.Errorf("rmalocks: invalid MachineSpec: %w", err)
+	}
+	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit, Engine: spec.Engine, Trace: spec.Trace}), nil
 }
 
 // NewMachineForProcs builds a two-level machine hosting exactly p
@@ -115,7 +149,82 @@ func NewMachineForProcs(p int) *Machine {
 	return rma.NewMachine(topology.ForProcs(p, 16))
 }
 
+// Scheme registry (internal/scheme, see DESIGN.md "Scheme registry &
+// tunables"): lock schemes, their capabilities and their typed tunables
+// — the paper's T_DC / T_R / T_L,i parameter space (Figure 1) — are
+// enumerable data. NewLock validates tunables against each scheme's
+// declared specs and returns typed errors instead of silently
+// defaulting or panicking.
+type (
+	// Lock is the unified capability-checked lock handle: every scheme
+	// presents the RWMutex interface (mutex-only schemes acquire
+	// exclusively on reads), plus Name/Caps/Underlying introspection.
+	Lock = scheme.Lock
+	// SchemeDescriptor declares one registered scheme: name, aliases,
+	// capabilities and tunable specs.
+	SchemeDescriptor = scheme.Descriptor
+	// SchemeTunable declares one tunable: key, doc, default and range.
+	SchemeTunable = scheme.TunableSpec
+	// SchemeCaps is the capability bitmask of a scheme.
+	SchemeCaps = scheme.Caps
+	// Tunables maps tunable keys ("TR", "TL2", ...) to values.
+	Tunables = scheme.Tunables
+)
+
+// Scheme capability bits.
+const (
+	// CapMutex marks schemes offering mutual exclusion (all of them).
+	CapMutex = scheme.CapMutex
+	// CapRW marks schemes with genuine reader-writer semantics.
+	CapRW = scheme.CapRW
+)
+
+// TuneOption sets tunables for NewLock.
+type TuneOption func(Tunables)
+
+// Tune sets a single tunable, e.g. Tune("TR", 500) or Tune("TL2", 16).
+func Tune(key string, value int64) TuneOption {
+	return func(t Tunables) { t[key] = value }
+}
+
+// TuneLevels sets a per-level tunable family from level 1 (the root)
+// downwards: TuneLevels("TL", 16, 32) sets TL1=16, TL2=32.
+func TuneLevels(key string, values ...int64) TuneOption {
+	return func(t Tunables) {
+		for i, v := range values {
+			t[key+strconv.Itoa(i+1)] = v
+		}
+	}
+}
+
+// NewLock allocates one lock of the named scheme on m through the
+// registry, validating the tunables against the scheme's declared
+// specs (typed errors for unknown schemes, unknown tunables and
+// out-of-range values). Lookup is case-insensitive ("rma-rw" works).
+// Call before m.Run.
+//
+//	lock, err := rmalocks.NewLock(m, "RMA-RW",
+//		rmalocks.Tune("TR", 500), rmalocks.TuneLevels("TL", 16, 32))
+func NewLock(m *Machine, name string, opts ...TuneOption) (Lock, error) {
+	t := Tunables{}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return scheme.New(m, name, t)
+}
+
+// Schemes lists every registered lock scheme's canonical name in
+// presentation order (the paper's mutex baselines first, then the RW
+// locks).
+func Schemes() []string { return scheme.Names() }
+
+// Describe returns the named scheme's descriptor: capabilities plus
+// its tunables with documented defaults and validity ranges.
+func Describe(name string) (SchemeDescriptor, error) { return scheme.Describe(name) }
+
 // MCSParams configures the topology-aware RMA-MCS lock.
+//
+// Deprecated: use NewLock with Tune/TuneLevels options instead.
 type MCSParams struct {
 	// TL holds the locality thresholds T_L,i (index = level, 1-based;
 	// entry 0 ignored). Zero entries take the default (32).
@@ -124,22 +233,34 @@ type MCSParams struct {
 
 // NewRMAMCS allocates the paper's topology-aware distributed MCS lock
 // (§3.5) on m. Call before m.Run.
+//
+// Deprecated: use NewLock(m, "RMA-MCS", ...) for validated, registry-
+// dispatched construction; this wrapper remains for source
+// compatibility.
 func NewRMAMCS(m *Machine, p MCSParams) *rmamcs.Lock {
 	return rmamcs.NewConfig(m, rmamcs.Config{TL: p.TL})
 }
 
 // NewDMCS allocates the topology-oblivious distributed MCS lock (§2.4).
+//
+// Deprecated: use NewLock(m, "D-MCS").
 func NewDMCS(m *Machine) *dmcs.Lock { return dmcs.New(m) }
 
 // NewFoMPISpin allocates the foMPI-style centralized spinlock baseline.
+//
+// Deprecated: use NewLock(m, "foMPI-Spin").
 func NewFoMPISpin(m *Machine) *fompi.SpinLock { return fompi.NewSpin(m) }
 
 // NewFoMPIRW allocates the foMPI-style centralized Reader-Writer lock
 // baseline.
+//
+// Deprecated: use NewLock(m, "foMPI-RW").
 func NewFoMPIRW(m *Machine) *fompi.RWLock { return fompi.NewRW(m) }
 
 // RWParams configures the RMA-RW lock (the paper's three-dimensional
 // parameter space, Figure 1).
+//
+// Deprecated: use NewLock with Tune/TuneLevels options instead.
 type RWParams struct {
 	// TDC is the distributed-counter threshold T_DC: one physical
 	// counter every TDC-th process. Default: one per compute node.
@@ -152,6 +273,10 @@ type RWParams struct {
 
 // NewRMARW allocates the paper's topology-aware distributed Reader-Writer
 // lock (§3) on m. Call before m.Run.
+//
+// Deprecated: use NewLock(m, "RMA-RW", ...) for validated, registry-
+// dispatched construction; this wrapper remains for source
+// compatibility.
 func NewRMARW(m *Machine, p RWParams) *rmarw.Lock {
 	return rmarw.NewConfig(m, rmarw.Config{TDC: p.TDC, TR: p.TR, TL: p.TL})
 }
@@ -217,8 +342,12 @@ type (
 	SweepGrid = sweep.Grid
 	// SweepCell is one independent simulation of a sweep.
 	SweepCell = sweep.Cell
-	// SweepKey identifies a grid cell (scheme/workload/profile/P).
+	// SweepKey identifies a grid cell (scheme/workload/profile/P, plus
+	// the canonical tunables encoding when the cell is tuned).
 	SweepKey = sweep.Key
+	// SweepTunableAxis is one sweepable tunable dimension of the grid
+	// (the paper's lock parameter space as a cross-product axis).
+	SweepTunableAxis = sweep.TunableAxis
 	// SweepOptions bounds the worker pool and enables -check mode.
 	SweepOptions = sweep.Options
 	// SweepCellResult is the merged outcome of one cell.
@@ -234,6 +363,13 @@ type (
 // of the worker count.
 func RunSweep(cells []SweepCell, opts SweepOptions) ([]SweepCellResult, error) {
 	return sweep.Run(cells, opts)
+}
+
+// SweepTable renders merged sweep results as the workbench's aligned
+// grid table (canonical cell order, byte-identical for any worker
+// count).
+func SweepTable(title string, results []SweepCellResult) string {
+	return sweep.Table(title, results).String()
 }
 
 // SaveSweep persists a sweep run as a JSON baseline; LoadSweep reads
