@@ -68,7 +68,7 @@ func main() {
 		out       = flag.String("out", "", "persist the run as JSON (e.g. results/sweep.json)")
 		baseline  = flag.String("baseline", "", "compare against a persisted run and report per-cell deltas")
 		tol       = flag.Float64("tol", 0, "throughput-regression tolerance in percent for -baseline (exit 1 beyond it)")
-		engine    = flag.String("engine", "", "scheduler engine: '' or 'fast' (token-owned fast path), 'ref' (reference; differential runs)")
+		engine    = flag.String("engine", "", "scheduler engine: '' or 'fast' (token-owned fast path), 'ref' (reference; differential runs), 'psim' (conservative parallel)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 		memprof   = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 		traceOut  = flag.String("trace", "", "capture event traces and export Chrome trace-event JSON (Perfetto-loadable; summarize with traceview); multi-cell grids get one file per cell")
@@ -81,12 +81,25 @@ func main() {
 	// Validate before profiling starts: flag errors must exit cleanly,
 	// not crash a sweep worker or truncate a profile.
 	switch *engine {
-	case "", rma.EngineFast, rma.EngineRef:
+	case "", rma.EngineFast, rma.EngineRef, rma.EnginePSim:
 	default:
-		fmt.Fprintf(os.Stderr, "workbench: unknown -engine %q (have '', %q, %q)\n",
-			*engine, rma.EngineFast, rma.EngineRef)
+		fmt.Fprintf(os.Stderr, "workbench: unknown -engine %q (have '', %q, %q, %q)\n",
+			*engine, rma.EngineFast, rma.EngineRef, rma.EnginePSim)
 		os.Exit(2)
 	}
+
+	// Flags whose zero value is meaningful must not be re-defaulted by
+	// the grid: -seed 0 and -zipfs 0 set the explicit-zero markers so
+	// Grid.fill leaves them alone (see Grid's zero-value semantics).
+	var seedSet, zipfSSet bool
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			seedSet = true
+		case "zipfs":
+			zipfSSet = true
+		}
+	})
 
 	opts := runOpts{
 		grid: sweep.Grid{
@@ -94,8 +107,8 @@ func main() {
 			Workloads: split(*workloads, workload.WorkloadNames),
 			Profiles:  split(*profiles, workload.ProfileNames),
 			Ps:        parsePs(*psFlag, *p),
-			Iters:     *iters, ProcsPerNode: *ppn, Seed: *seed,
-			FW: *fw, Locks: *nlocks, ZipfS: *zipfS, Engine: *engine,
+			Iters:     *iters, ProcsPerNode: *ppn, Seed: *seed, SeedSet: seedSet,
+			FW: *fw, Locks: *nlocks, ZipfS: *zipfS, ZipfSSet: zipfSSet, Engine: *engine,
 			Tunables: tunes,
 		},
 		jobs: *jobs, check: *check, csv: *csv,
@@ -155,7 +168,11 @@ func run(opts runOpts) int {
 	}
 
 	start := time.Now()
-	cells := grid.Cells()
+	cells, err := grid.Cells()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	results, err := sweep.Run(cells, sweep.Options{Workers: opts.jobs, Check: opts.check})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

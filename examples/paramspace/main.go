@@ -71,7 +71,11 @@ func main() {
 		}
 	}
 
-	results, err := rmalocks.RunSweep(grid.Cells(), rmalocks.SweepOptions{Workers: *jobs})
+	cells, err := grid.Cells()
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := rmalocks.RunSweep(cells, rmalocks.SweepOptions{Workers: *jobs})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,6 +20,7 @@ package dht
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rmalocks/internal/rma"
 )
@@ -114,7 +115,7 @@ func (t *Table) AtomicInsert(p *rma.Proc, vol int, key int64) bool {
 	idx := p.FAO(1, vol, t.freeOff, rma.OpSum)
 	p.Flush(vol)
 	if idx >= int64(t.cells) {
-		t.Overflows++
+		atomic.AddInt64(&t.Overflows, 1)
 		return false
 	}
 	p.Put(key, vol, t.heapVal+int(idx))
@@ -180,7 +181,7 @@ func (t *Table) PlainInsert(p *rma.Proc, vol int, key int64) bool {
 	idx := p.Get(vol, t.freeOff)
 	p.Flush(vol)
 	if idx >= int64(t.cells) {
-		t.Overflows++
+		atomic.AddInt64(&t.Overflows, 1)
 		return false
 	}
 	p.Put(idx+1, vol, t.freeOff)

@@ -5,6 +5,8 @@
 package dmcs
 
 import (
+	"sync/atomic"
+
 	"rmalocks/internal/rma"
 )
 
@@ -68,7 +70,7 @@ func (l *Lock) acquire(p *rma.Proc) {
 		p.Flush(int(pred))
 		p.SpinUntil(me, l.base+offWait, func(v int64) bool { return v == 0 })
 	}
-	l.Acquires++
+	atomic.AddInt64(&l.Acquires, 1)
 }
 
 // Release implements the paper's Listing 3.

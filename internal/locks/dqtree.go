@@ -2,6 +2,7 @@ package locks
 
 import (
 	"math"
+	"sync/atomic"
 
 	"rmalocks/internal/rma"
 	"rmalocks/internal/topology"
@@ -163,9 +164,9 @@ func (t *DQTree) Pass(p *rma.Proc, i int, succ int64, status int64) {
 	p.Put(status, int(succ), t.statusOff[i])
 	p.Flush(int(succ))
 	if status >= 0 {
-		t.Passes[i]++
+		atomic.AddInt64(&t.Passes[i], 1)
 	} else {
-		t.ParentReleases[i]++
+		atomic.AddInt64(&t.ParentReleases[i], 1)
 	}
 }
 

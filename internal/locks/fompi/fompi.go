@@ -6,6 +6,8 @@
 package fompi
 
 import (
+	"sync/atomic"
+
 	"rmalocks/internal/rma"
 	"rmalocks/internal/spinwait"
 )
@@ -44,7 +46,7 @@ func (l *SpinLock) Acquire(p *rma.Proc) {
 			p.TraceAcquired(l.id, true)
 			return
 		}
-		l.Retries++
+		atomic.AddInt64(&l.Retries, 1)
 		b.Pause(p)
 	}
 }
@@ -100,7 +102,7 @@ func (l *RWLock) AcquireRead(p *rma.Proc) {
 		// A writer is in or entering the CS: back out and wait.
 		p.Accumulate(-1, l.home, l.base, rma.OpSum)
 		p.Flush(l.home)
-		l.ReaderRetries++
+		atomic.AddInt64(&l.ReaderRetries, 1)
 		for {
 			v := p.Get(l.home, l.base)
 			p.Flush(l.home)
@@ -129,7 +131,7 @@ func (l *RWLock) AcquireWrite(p *rma.Proc) {
 		v := p.Get(l.home, l.base)
 		p.Flush(l.home)
 		if v&writerBit != 0 {
-			l.WriterRetries++
+			atomic.AddInt64(&l.WriterRetries, 1)
 			b.Pause(p)
 			continue
 		}
@@ -138,7 +140,7 @@ func (l *RWLock) AcquireWrite(p *rma.Proc) {
 		if prev == v {
 			break // claimed
 		}
-		l.WriterRetries++
+		atomic.AddInt64(&l.WriterRetries, 1)
 		b.Pause(p)
 	}
 	// Drain readers.

@@ -10,6 +10,7 @@ package rmamcs
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"rmalocks/internal/locks"
 	"rmalocks/internal/rma"
@@ -79,9 +80,9 @@ func (l *Lock) acquire(p *rma.Proc) {
 			if status >= 0 {
 				// T_L,i not reached: the lock was passed to us and we
 				// directly proceed to the CS.
-				l.Acquires++
+				atomic.AddInt64(&l.Acquires, 1)
 				if i >= 2 {
-					l.DirectEntries++ // short-cut: never reached the root
+					atomic.AddInt64(&l.DirectEntries, 1) // short-cut: never reached the root
 				}
 				return
 			}
@@ -95,7 +96,7 @@ func (l *Lock) acquire(p *rma.Proc) {
 	}
 	// Reached past the root with every level's queue empty or handed
 	// over: we hold the global lock.
-	l.Acquires++
+	atomic.AddInt64(&l.Acquires, 1)
 }
 
 // Release walks the DT from the leaf (Listing 5): at each level it passes

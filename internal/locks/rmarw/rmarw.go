@@ -18,6 +18,7 @@ package rmarw
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"rmalocks/internal/locks"
 	"rmalocks/internal/rma"
@@ -268,7 +269,7 @@ func (l *Lock) resetCounters(p *rma.Proc) {
 	for _, r := range l.counterRanks {
 		l.resetCounter(p, r, true)
 	}
-	l.ModeChanges++
+	atomic.AddInt64(&l.ModeChanges, 1)
 	l.trace("writer-reset", -1, 0)
 }
 
@@ -298,12 +299,12 @@ func (l *Lock) acquireRead(p *rma.Proc) {
 		curr := p.FAO(1, c, l.arriveOff, rma.OpSum)
 		p.Flush(c)
 		if curr < l.tr {
-			l.ReadAcquires++
+			atomic.AddInt64(&l.ReadAcquires, 1)
 			return
 		}
 		// T_R reached (or WRITE mode: the bias dwarfs T_R).
 		barrier = true
-		l.ReaderBackoffs++
+		atomic.AddInt64(&l.ReaderBackoffs, 1)
 		l.trace("fao", p.Rank(), curr)
 		if curr == l.tr {
 			// We are the first to reach T_R: pass the lock to the
@@ -350,7 +351,7 @@ func (l *Lock) acquireWrite(p *rma.Proc) {
 		status, hadPred := l.tree.EnterQueue(p, i)
 		if hadPred {
 			if status >= 0 {
-				l.WriteAcquires++
+				atomic.AddInt64(&l.WriteAcquires, 1)
 				return // direct pass within the element (Listing 4)
 			}
 			if status != locks.StatusAcquireParent {
@@ -375,7 +376,7 @@ func (l *Lock) acquireWrite(p *rma.Proc) {
 	default:
 		panic(fmt.Sprintf("rmarw: unexpected root status %d", status))
 	}
-	l.WriteAcquires++
+	atomic.AddInt64(&l.WriteAcquires, 1)
 }
 
 // ReleaseWrite walks down from the leaf (Listing 5), ending at the root

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"rmalocks/internal/sim"
+	"rmalocks/internal/sim/psim"
 	"rmalocks/internal/sim/refsim"
 	"rmalocks/internal/topology"
 	"rmalocks/internal/trace"
@@ -62,6 +63,21 @@ type schedHandle interface {
 	WakeAt(clock int64)
 }
 
+// gateHandle is the wider handle of the parallel engine (internal/
+// sim/psim): every shared-memory access passes a conservative gate that
+// reproduces the sequential engines' global (time, rank) access order.
+// BeginAccess/EndAccess bracket an op's issue-time effect, BlockReleasing
+// parks a SpinUntil waiter, and WakeAtFrom re-admits it. The sequential
+// handles do not implement this interface; Proc.gate stays nil for them
+// and every site degrades to one nil check.
+type gateHandle interface {
+	schedHandle
+	BeginAccess(t int64, target int, minDur, minWake int64)
+	EndAccess(target int, bound int64)
+	BlockReleasing(target int)
+	WakeAtFrom(clock int64, waker int)
+}
+
 // engine abstracts a whole scheduler run.
 type engine interface {
 	MaxClock() int64
@@ -76,6 +92,12 @@ const (
 	// EngineRef is the reference scheduler (internal/sim/refsim), used by
 	// the differential determinism suite.
 	EngineRef = "ref"
+	// EnginePSim is the conservative parallel engine (internal/sim/psim):
+	// process goroutines run concurrently and synchronize only at an
+	// access gate whose lookahead derives from the latency model. It
+	// produces runs byte-identical to the sequential engines
+	// (test-enforced) while using multiple cores.
+	EnginePSim = "psim"
 )
 
 // Machine is a simulated distributed machine: topology, latency model, and
@@ -88,8 +110,8 @@ type Machine struct {
 
 	words      int // window words per rank
 	mem        []int64
-	busy       []int64 // per-rank target busy-until (virtual ns)
-	watchers   map[int][]watcher
+	busy       []int64             // per-rank target busy-until (virtual ns)
+	watchers   []map[int][]watcher // per target rank, keyed by offset
 	inits      []func(m *Machine)
 	seed       int64
 	limit      int64 // virtual time limit (0 = none)
@@ -100,6 +122,8 @@ type Machine struct {
 	nextLockID int
 	ran        bool
 	stats      Stats
+	shards     []Stats // per-rank stat shards (psim only; merged after the run)
+	look       lookahead
 	maxClk     int64
 }
 
@@ -153,9 +177,9 @@ func NewMachineConfig(topo *topology.Topology, cfg Config) *Machine {
 		bcost = 2000
 	}
 	switch cfg.Engine {
-	case "", EngineFast, EngineRef:
+	case "", EngineFast, EngineRef, EnginePSim:
 	default:
-		panic(fmt.Sprintf("rma: unknown engine %q (have %q, %q)", cfg.Engine, EngineFast, EngineRef))
+		panic(fmt.Sprintf("rma: unknown engine %q (have %q, %q, %q)", cfg.Engine, EngineFast, EngineRef, EnginePSim))
 	}
 	return &Machine{
 		topo:       topo,
@@ -241,7 +265,14 @@ func (m *Machine) Run(body func(p *Proc)) error {
 			m:    m,
 			rank: h.ID(),
 			h:    h,
+			st:   &m.stats,
 			rng:  rand.New(rand.NewSource(m.seed*1000003 + int64(h.ID()))),
+		}
+		if gh, ok := h.(gateHandle); ok {
+			// Parallel engine: gate every shared access and shard the
+			// stats per rank (counts merge commutatively after the run).
+			proc.gate = gh
+			proc.st = &m.shards[proc.rank]
 		}
 		if m.sink != nil {
 			// Per-class buffers, resolved once: a disabled class leaves
@@ -255,11 +286,22 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	}
 	var eng engine
 	var err error
-	if m.engine == EngineRef {
+	switch m.engine {
+	case EngineRef:
 		sched := refsim.New(simCfg)
 		err = sched.Run(func(h *refsim.Handle) { wrap(h) })
 		eng = sched
-	} else {
+	case EnginePSim:
+		m.buildLookahead()
+		m.shards = make([]Stats, p)
+		for i := range m.shards {
+			m.shards[i].PerDistance = make([]OpCount, m.topo.MaxDistance()+1)
+		}
+		sched := psim.New(simCfg)
+		err = sched.Run(func(h *psim.Handle) { wrap(h) })
+		eng = sched
+		m.mergeShards()
+	default:
 		sched := sim.New(simCfg)
 		err = sched.Run(func(h *sim.Handle) { wrap(h) })
 		eng = sched
@@ -267,6 +309,23 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	m.maxClk = eng.MaxClock()
 	eng.Release()
 	return err
+}
+
+// mergeShards folds the per-rank stat shards of a parallel run into
+// m.stats, in rank order (sums are commutative, so the result equals the
+// sequential engines' counts exactly).
+func (m *Machine) mergeShards() {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		for k := range sh.Kind {
+			m.stats.Kind[k] += sh.Kind[k]
+		}
+		for d := range sh.PerDistance {
+			m.stats.PerDistance[d].Data += sh.PerDistance[d].Data
+			m.stats.PerDistance[d].Atomic += sh.PerDistance[d].Atomic
+		}
+	}
+	m.shards = nil
 }
 
 // reset prepares the per-run buffers, reusing prior allocations where the
@@ -289,10 +348,12 @@ func (m *Machine) reset(p int) {
 	} else {
 		m.busy = make([]int64, p)
 	}
-	if m.watchers == nil {
-		m.watchers = make(map[int][]watcher)
+	if len(m.watchers) != p {
+		m.watchers = make([]map[int][]watcher, p)
 	} else {
-		clear(m.watchers)
+		for i := range m.watchers {
+			clear(m.watchers[i])
+		}
 	}
 }
 
@@ -352,12 +413,24 @@ type watcher struct {
 	cond func(int64) bool
 }
 
+// addWatcher registers a SpinUntil waiter on target's word at offset.
+// Watcher state is keyed by target rank so that, under the parallel
+// engine, it is only ever touched while holding that rank's effect slot.
+func (m *Machine) addWatcher(target, offset int, w watcher) {
+	ws := m.watchers[target]
+	if ws == nil {
+		ws = make(map[int][]watcher)
+		m.watchers[target] = ws
+	}
+	ws[offset] = append(ws[offset], w)
+}
+
 // wake re-schedules every watcher of the given word whose condition is
 // satisfied by the new value; the wake-up clock is the landing time of the
-// triggering write plus the watcher's read latency for the word.
-func (m *Machine) wake(target, offset int, newVal, land int64) {
-	idx := m.index(target, offset)
-	ws := m.watchers[idx]
+// triggering write plus the watcher's read latency for the word. origin is
+// the process whose write triggered the wake (trace attribution).
+func (m *Machine) wake(target, offset int, newVal, land int64, origin *Proc) {
+	ws := m.watchers[target][offset]
 	if len(ws) == 0 {
 		return
 	}
@@ -365,14 +438,55 @@ func (m *Machine) wake(target, offset int, newVal, land int64) {
 	for _, w := range ws {
 		if w.cond(newVal) {
 			detect := m.lat.DataRTT[m.topo.Distance(w.p.rank, target)]
-			w.p.h.WakeAt(land + detect)
+			if w.p.gate != nil {
+				w.p.gate.WakeAtFrom(land+detect, origin.rank)
+			} else {
+				w.p.h.WakeAt(land + detect)
+			}
 			continue
 		}
 		remaining = append(remaining, w)
 	}
 	if len(remaining) == 0 {
-		delete(m.watchers, idx)
+		delete(m.watchers[target], offset)
 	} else {
-		m.watchers[idx] = remaining
+		m.watchers[target][offset] = remaining
 	}
+}
+
+// lookahead holds the per-distance conservative bounds handed to the
+// parallel engine's access gate, derived from the latency model: an op's
+// minimum duration is RTT + occupancy at its distance (queuing behind a
+// busy target only increases it), and the earliest wake-up it can cause
+// is its outbound wire time plus occupancy (earliest landing) plus the
+// minimum detection latency over all watcher distances.
+type lookahead struct {
+	dataDur, atomicDur   []int64
+	dataWake, atomicWake []int64
+}
+
+func (m *Machine) buildLookahead() {
+	maxd := m.topo.MaxDistance()
+	if len(m.look.dataDur) == maxd+1 {
+		return
+	}
+	minDetect := m.lat.DataRTT[0]
+	for d := 1; d <= maxd; d++ {
+		if m.lat.DataRTT[d] < minDetect {
+			minDetect = m.lat.DataRTT[d]
+		}
+	}
+	l := lookahead{
+		dataDur:    make([]int64, maxd+1),
+		atomicDur:  make([]int64, maxd+1),
+		dataWake:   make([]int64, maxd+1),
+		atomicWake: make([]int64, maxd+1),
+	}
+	for d := 0; d <= maxd; d++ {
+		l.dataDur[d] = m.lat.DataRTT[d] + m.lat.DataOcc[d]
+		l.atomicDur[d] = m.lat.AtomicRTT[d] + m.lat.AtomicOcc[d]
+		l.dataWake[d] = m.lat.DataRTT[d]/2 + m.lat.DataOcc[d] + minDetect
+		l.atomicWake[d] = m.lat.AtomicRTT[d]/2 + m.lat.AtomicOcc[d] + minDetect
+	}
+	m.look = l
 }

@@ -15,7 +15,14 @@ type Proc struct {
 	m    *Machine
 	rank int
 	h    schedHandle
-	rng  *rand.Rand
+	// gate is non-nil under the parallel engine (see gateHandle): every
+	// shared-memory access is bracketed by BeginAccess/EndAccess so the
+	// gate can reproduce the sequential engines' global access order.
+	gate gateHandle
+	// st receives operation counts: &m.stats sequentially, a per-rank
+	// shard under the parallel engine (merged after the run).
+	st  *Stats
+	rng *rand.Rand
 	// pending is virtual time charged but not yet published to the
 	// scheduler (charge coalescing, see spend). The process's effective
 	// clock is h.Clock() + pending.
@@ -130,14 +137,41 @@ func (p *Proc) TraceRelease(id int, write bool) {
 	}
 }
 
+// beginAccess passes the parallel engine's gate before a shared access at
+// the current effective clock; one nil check sequentially. canWake marks
+// ops that can trigger watcher wake-ups (everything that writes).
+func (p *Proc) beginAccess(target int, atomic, canWake bool) {
+	if p.gate == nil {
+		return
+	}
+	d := p.m.topo.Distance(p.rank, target)
+	dur, wake := p.m.look.dataDur[d], p.m.look.dataWake[d]
+	if atomic {
+		dur, wake = p.m.look.atomicDur[d], p.m.look.atomicWake[d]
+	}
+	if !canWake {
+		wake = -1
+	}
+	p.gate.BeginAccess(p.Now(), target, dur, wake)
+}
+
+// endAccess completes a gated access whose charged duration is dur.
+func (p *Proc) endAccess(target int, dur int64) {
+	if p.gate != nil {
+		p.gate.EndAccess(target, p.Now()+dur)
+	}
+}
+
 // Put atomically places src in target's window at offset.
 func (p *Proc) Put(src int64, target, offset int) {
 	i := p.m.index(target, offset)
+	p.beginAccess(target, false, true)
 	p.m.mem[i] = src
-	p.m.stats.count(opPut, p.m.topo.Distance(p.rank, target))
+	p.st.count(opPut, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, false)
 	p.traceOp(trace.OpPut, target, land)
-	p.m.wake(target, offset, src, land)
+	p.m.wake(target, offset, src, land, p)
+	p.endAccess(target, dur)
 	p.spend(dur)
 }
 
@@ -145,10 +179,12 @@ func (p *Proc) Put(src int64, target, offset int) {
 // Per the paper, the value is only guaranteed after a subsequent Flush; in
 // this simulation it is already the linearized value at issue time.
 func (p *Proc) Get(target, offset int) int64 {
+	p.beginAccess(target, false, false)
 	v := p.m.mem[p.m.index(target, offset)]
-	p.m.stats.count(opGet, p.m.topo.Distance(p.rank, target))
+	p.st.count(opGet, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, false)
 	p.traceOp(trace.OpGet, target, land)
+	p.endAccess(target, dur)
 	p.spend(dur)
 	return v
 }
@@ -157,6 +193,7 @@ func (p *Proc) Get(target, offset int) int64 {
 // target's window offset.
 func (p *Proc) Accumulate(oprd int64, target, offset int, op Op) {
 	i := p.m.index(target, offset)
+	p.beginAccess(target, true, true)
 	var nv int64
 	switch op {
 	case OpSum:
@@ -167,10 +204,11 @@ func (p *Proc) Accumulate(oprd int64, target, offset int, op Op) {
 		panic(fmt.Sprintf("rma: unknown op %v", op))
 	}
 	p.m.mem[i] = nv
-	p.m.stats.count(opAcc, p.m.topo.Distance(p.rank, target))
+	p.st.count(opAcc, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, true)
 	p.traceOp(trace.OpAcc, target, land)
-	p.m.wake(target, offset, nv, land)
+	p.m.wake(target, offset, nv, land, p)
+	p.endAccess(target, dur)
 	p.spend(dur)
 }
 
@@ -178,6 +216,7 @@ func (p *Proc) Accumulate(oprd int64, target, offset int, op Op) {
 // window offset and returns the word's previous value.
 func (p *Proc) FAO(oprd int64, target, offset int, op Op) int64 {
 	i := p.m.index(target, offset)
+	p.beginAccess(target, true, true)
 	prev := p.m.mem[i]
 	var nv int64
 	switch op {
@@ -189,10 +228,11 @@ func (p *Proc) FAO(oprd int64, target, offset int, op Op) int64 {
 		panic(fmt.Sprintf("rma: unknown op %v", op))
 	}
 	p.m.mem[i] = nv
-	p.m.stats.count(opFAO, p.m.topo.Distance(p.rank, target))
+	p.st.count(opFAO, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, true)
 	p.traceOp(trace.OpFAO, target, land)
-	p.m.wake(target, offset, nv, land)
+	p.m.wake(target, offset, nv, land, p)
+	p.endAccess(target, dur)
 	p.spend(dur)
 	return prev
 }
@@ -201,17 +241,19 @@ func (p *Proc) FAO(oprd int64, target, offset int, op Op) int64 {
 // if equal, replaces it with src; it returns the word's previous value.
 func (p *Proc) CAS(src, cmp int64, target, offset int) int64 {
 	i := p.m.index(target, offset)
+	p.beginAccess(target, true, true)
 	prev := p.m.mem[i]
 	changed := prev == cmp
 	if changed {
 		p.m.mem[i] = src
 	}
-	p.m.stats.count(opCAS, p.m.topo.Distance(p.rank, target))
+	p.st.count(opCAS, p.m.topo.Distance(p.rank, target))
 	dur, land := p.m.charge(p, target, true)
 	p.traceOp(trace.OpCAS, target, land)
 	if changed {
-		p.m.wake(target, offset, src, land)
+		p.m.wake(target, offset, src, land, p)
 	}
+	p.endAccess(target, dur)
 	p.spend(dur)
 	return prev
 }
@@ -220,14 +262,14 @@ func (p *Proc) CAS(src, cmp int64, target, offset int) int64 {
 // this simulation complete synchronously, so Flush only charges a small
 // bookkeeping cost; it is kept so protocols read exactly like the paper.
 func (p *Proc) Flush(target int) {
-	p.m.stats.count(opFlush, 0)
+	p.st.count(opFlush, 0)
 	p.traceOp(trace.OpFlush, target, 0)
 	p.spend(flushCost)
 }
 
 // FlushAll completes all pending RMA calls of the process.
 func (p *Proc) FlushAll() {
-	p.m.stats.count(opFlush, 0)
+	p.st.count(opFlush, 0)
 	p.traceOp(trace.OpFlush, -1, 0)
 	p.spend(flushCost)
 }
@@ -244,11 +286,14 @@ const flushCost = 10
 // read latency. Use it for grant flags and status words; keep genuine
 // contention loops (e.g., spinlock CAS retries) as explicit loops.
 func (p *Proc) SpinUntil(target, offset int, cond func(int64) bool) int64 {
+	if p.gate != nil {
+		return p.spinUntilGated(target, offset, cond)
+	}
 	idx := p.m.index(target, offset)
 	v := p.m.mem[idx]
 	if cond(v) {
 		// Fast path: one ordinary read observes the satisfying value.
-		p.m.stats.count(opGet, p.m.topo.Distance(p.rank, target))
+		p.st.count(opGet, p.m.topo.Distance(p.rank, target))
 		dur, land := p.m.charge(p, target, false)
 		p.traceOp(trace.OpGet, target, land)
 		p.spend(dur)
@@ -261,13 +306,45 @@ func (p *Proc) SpinUntil(target, offset int, cond func(int64) bool) int64 {
 	// above — no granting write can slip in between (no lost wake-up).
 	p.flush()
 	for {
-		p.m.watchers[idx] = append(p.m.watchers[idx], watcher{p: p, cond: cond})
+		p.m.addWatcher(target, offset, watcher{p: p, cond: cond})
 		p.h.Block()
 		// A satisfying write landed (our wake clock includes the read
 		// latency). Re-validate: later writes may have landed before we
 		// were scheduled again.
 		v = p.m.mem[idx]
 		if cond(v) {
+			return v
+		}
+	}
+}
+
+// spinUntilGated is SpinUntil under the parallel engine. The probe is one
+// gated access (minimum duration 0: an unsatisfied probe charges
+// nothing); registration happens while still holding the target's effect
+// slot, and BlockReleasing gives the slot up only after the process is
+// parked — writes to the target serialize on that same slot, so no
+// satisfying write can race the registration (no lost wake-up). A wake
+// re-admits the process through the gate at its wake clock; the recheck
+// is free, exactly like the sequential engines' re-validation loop.
+func (p *Proc) spinUntilGated(target, offset int, cond func(int64) bool) int64 {
+	idx := p.m.index(target, offset)
+	p.gate.BeginAccess(p.Now(), target, 0, -1)
+	v := p.m.mem[idx]
+	if cond(v) {
+		p.st.count(opGet, p.m.topo.Distance(p.rank, target))
+		dur, land := p.m.charge(p, target, false)
+		p.traceOp(trace.OpGet, target, land)
+		p.gate.EndAccess(target, p.Now()+dur)
+		p.spend(dur)
+		return v
+	}
+	p.flush() // publish before blocking, as in the sequential path
+	for {
+		p.m.addWatcher(target, offset, watcher{p: p, cond: cond})
+		p.gate.BlockReleasing(target)
+		v = p.m.mem[idx]
+		if cond(v) {
+			p.gate.EndAccess(target, p.Now())
 			return v
 		}
 	}

@@ -1,0 +1,672 @@
+// Package psim is the conservative parallel discrete-event engine: the
+// third scheduler next to the token-owned fast path (internal/sim) and
+// the reference implementation (internal/sim/refsim).
+//
+// The sequential engines execute every shared-memory access (an RMA op's
+// issue-time memory effect, the busy-horizon update, watcher wake-ups) in
+// strictly increasing (virtual time, rank) order — that order IS the
+// simulated machine's linearization. psim reproduces exactly the same
+// order while letting process goroutines run concurrently between
+// accesses: each access first passes a conservative gate that grants
+// requests in global (t, id) order, and the granted effect then executes
+// on the caller's own goroutine, serialized per *target* rank by a ticket
+// turnstile. Effects on different targets touch disjoint machine state
+// (the target's window words, busy horizon and watcher lists), so they
+// run genuinely in parallel.
+//
+// The gate's lookahead comes from the latency model (see package rma): a
+// granted-but-unfinished op at time t cannot issue its *next* access
+// before t plus the op's minimum duration (RTT + occupancy at its
+// distance), and cannot wake a blocked process before t plus half an RTT
+// plus occupancy plus the minimum detection latency — the topology's
+// minimum RTT bound of the conservative-PDES literature. A request
+// (t, id) is granted as soon as no other process can still produce an
+// access ordered before it; this is the charge-coalescing horizon of the
+// fast engine lifted from "one process may run ahead" to "all processes
+// may run ahead, within the lookahead window".
+//
+// The engine shares sim.Config and sim's sentinel errors, and emits the
+// same semantic trace events at the same clocks (EvBlock/EvWake/
+// EvBarrier and everything package rma emits). It does not emit
+// EvDispatch: there is no execution token to hand off, so that
+// (ClassSched) event is meaningless here — differential trace
+// comparisons against the sequential engines filter it out.
+package psim
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"rmalocks/internal/sim"
+	"rmalocks/internal/trace"
+)
+
+// abortSignal is panicked inside process goroutines when the simulation is
+// torn down early; the Run wrapper recovers it.
+type abortSignal struct{}
+
+// state is a process's position in the gate protocol.
+type state uint8
+
+const (
+	// stRun: executing body code; p.bound lower-bounds its next access time.
+	stRun state = iota
+	// stReq: waiting in the request heap for a grant.
+	stReq
+	// stInOp: granted; the access effect is executing on p's goroutine.
+	stInOp
+	// stBlocked: parked in SpinUntil, waiting for a watcher wake-up.
+	stBlocked
+	// stBarrier: arrived at the barrier.
+	stBarrier
+	// stExited: body returned.
+	stExited
+)
+
+type proc struct {
+	id    int
+	clock int64 // owned by p's goroutine; wakers/barrier write it under s.mu while p is parked
+	state state
+	// bound (valid while stRun) lower-bounds the virtual time of p's next
+	// access: the completion time of its previous one.
+	bound int64
+	// Request fields (valid while stReq).
+	reqT    int64 // access time — the grant key is (reqT, id)
+	reqDur  int64 // lookahead: minimum duration of the access
+	reqWake int64 // lookahead: minimum delta to any wake-up it can cause; <0 = cannot wake
+	// In-flight fields (valid while stInOp).
+	opBound   int64 // reqT + reqDur: earliest next access of this proc
+	wakeBound int64 // earliest wake-up this effect can cause (MaxInt64 if none)
+	target    int   // target rank of the granted access (slot index)
+	ticket    uint64
+	// conVer stamps constraint-heap entries; bumping it retires them.
+	conVer uint64
+	grant  chan struct{}
+	// tb is the proc's ClassCharge trace buffer (nil when disabled).
+	tb *trace.Buf
+}
+
+// Handle is a per-process handle passed to the process body. Its methods
+// must only be called from that process's goroutine, except WakeAtFrom
+// (called by the waking process's goroutine while it holds the target's
+// effect slot).
+type Handle struct {
+	s *Scheduler
+	p *proc
+}
+
+// ID returns the process id (the simulated rank).
+func (h *Handle) ID() int { return h.p.id }
+
+// Clock returns the process's current virtual time in nanoseconds.
+func (h *Handle) Clock() int64 { return h.p.clock }
+
+// slot serializes access effects per target rank: tickets are assigned in
+// grant order under Scheduler.mu, and effects run in ticket order. The
+// slot mutex also carries the happens-before edge between consecutive
+// effects on the same target's state.
+type slot struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	turn uint64 // ticket currently allowed to run its effect
+	next uint64 // next ticket to assign (guarded by Scheduler.mu)
+}
+
+// conEntry is one conservative constraint: no future access from source p
+// can be ordered before key (t, id). Entries are retired lazily — an
+// entry is live iff its ver still matches p.conVer.
+type conEntry struct {
+	t   int64
+	id  int // -1 for wake bounds (an unknown woken process)
+	p   *proc
+	ver uint64
+}
+
+// Scheduler coordinates the access gate for a fixed set of processes.
+type Scheduler struct {
+	mu        sync.Mutex
+	procs     []*proc
+	req       []*proc    // min-heap on (reqT, id): pending access requests
+	cons      []conEntry // min-heap on (t, id): conservative lower bounds
+	slots     []slot
+	live      int
+	runCnt    int // processes in stRun
+	opCnt     int // processes in stInOp
+	arrived   []*proc
+	syncCost  int64
+	timeLimit int64 // 0 = unlimited
+	tsink     *trace.Sink
+	err       error
+	failed    atomic.Bool
+}
+
+// New creates a parallel scheduler for cfg.Procs processes. It shares
+// sim.Config (and sim's sentinel errors) so the engines are drop-in
+// interchangeable.
+func New(cfg sim.Config) *Scheduler {
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("psim: Procs must be positive, got %d", cfg.Procs))
+	}
+	s := &Scheduler{
+		procs:     make([]*proc, cfg.Procs),
+		slots:     make([]slot, cfg.Procs),
+		live:      cfg.Procs,
+		syncCost:  cfg.BarrierCost,
+		timeLimit: cfg.TimeLimit,
+	}
+	for i := range s.procs {
+		s.procs[i] = &proc{id: i, grant: make(chan struct{}, 1)}
+	}
+	for i := range s.slots {
+		s.slots[i].cond = sync.NewCond(&s.slots[i].mu)
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Start(cfg.Procs)
+		if cfg.Trace.Has(trace.ClassSched) {
+			s.tsink = cfg.Trace
+		}
+		for i, p := range s.procs {
+			p.tb = cfg.Trace.Buf(i, trace.ClassCharge)
+		}
+	}
+	return s
+}
+
+// Release is a no-op: psim does not pool its procs. Interface parity with
+// sim.Scheduler.
+func (s *Scheduler) Release() {}
+
+// HandleFor returns a handle for process id. Handles carry no
+// per-goroutine state, so this is safe to call anywhere; it exists for
+// tests that wake one process from another's effect (package rma reaches
+// the wakee through the handle stored in its watcher instead).
+func (s *Scheduler) HandleFor(id int) *Handle { return &Handle{s: s, p: s.procs[id]} }
+
+// Run executes body(handle) once per process, each in its own goroutine,
+// and returns when all processes have exited (or the simulation aborted).
+// Unlike the sequential engines there is no token: all goroutines start
+// immediately and only synchronize at the access gate.
+func (s *Scheduler) Run(body func(h *Handle)) error {
+	s.mu.Lock()
+	for _, p := range s.procs {
+		p.state = stRun
+		p.bound = 0
+		p.conVer++
+		s.pushCon(0, p.id, p)
+	}
+	s.runCnt = len(s.procs)
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(len(s.procs))
+	for _, p := range s.procs {
+		go func(p *proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); ok {
+						return // torn down by scheduler
+					}
+					s.fail(fmt.Errorf("psim: process %d panicked: %v\n%s", p.id, r, debug.Stack()))
+				}
+			}()
+			h := &Handle{s: s, p: p}
+			body(h)
+			h.exit()
+		}(p)
+	}
+	wg.Wait()
+	return s.err
+}
+
+// Err returns the error recorded by the simulation, if any.
+func (s *Scheduler) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MaxClock returns the largest virtual clock reached by any process.
+func (s *Scheduler) MaxClock() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int64
+	for _, p := range s.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// Horizon returns the clock up to which the calling process may advance
+// without consulting the scheduler. psim has no token to keep, so the
+// only bound is the time limit: charges coalesce until an explicit flush
+// point (block, barrier, exit) or the limit. The gate orders accesses by
+// their effective time independent of when time is published, so the
+// coalescing decision cannot change any interleaving.
+func (h *Handle) Horizon() int64 {
+	if h.s.timeLimit > 0 {
+		return h.s.timeLimit
+	}
+	return math.MaxInt64
+}
+
+// Advance charges d nanoseconds of virtual time to the calling process.
+// Purely local: no other process reads a running process's clock (wake-up
+// clocks are computed against published clocks of *blocked* processes).
+func (h *Handle) Advance(d int64) {
+	if d < 1 {
+		d = 1
+	}
+	if h.s.failed.Load() {
+		panic(abortSignal{})
+	}
+	p := h.p
+	p.clock += d
+	if h.s.timeLimit > 0 && p.clock > h.s.timeLimit {
+		h.s.fail(fmt.Errorf("%w (process %d at %d ns)", sim.ErrTimeLimit, p.id, p.clock))
+		panic(abortSignal{})
+	}
+	if p.tb != nil {
+		p.tb.Emit(trace.EvAdvance, p.clock, d, 0, 0)
+	}
+}
+
+// BeginAccess requests the gate for one shared-memory access at virtual
+// time t against the target rank. minDur lower-bounds the access's
+// duration and minWake the delta to any wake-up it can cause (negative if
+// it cannot wake anyone); both come from the caller's latency model. It
+// returns once every access ordered before (t, caller) has started and
+// all earlier effects on target have finished — the caller then owns the
+// target's effect slot until EndAccess or BlockReleasing.
+func (h *Handle) BeginAccess(t int64, target int, minDur, minWake int64) {
+	s, p := h.s, h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	p.state = stReq
+	s.runCnt--
+	p.conVer++ // retire the stRun bound
+	p.reqT, p.reqDur, p.reqWake = t, minDur, minWake
+	p.target = target
+	s.pushReq(p)
+	s.pumpLocked()
+	s.mu.Unlock()
+	h.waitGrant()
+	s.slotAcquire(target, p.ticket)
+}
+
+// EndAccess completes the calling process's in-flight access: bound is
+// the access's completion time, a lower bound on the process's next
+// access. Releases the target's effect slot.
+func (h *Handle) EndAccess(target int, bound int64) {
+	s, p := h.s, h.p
+	s.slotRelease(target)
+	s.mu.Lock()
+	p.state = stRun
+	s.opCnt--
+	s.runCnt++
+	p.bound = bound
+	p.conVer++
+	s.pushCon(bound, p.id, p)
+	s.pumpLocked()
+	s.mu.Unlock()
+}
+
+// BlockReleasing parks the calling process (SpinUntil): it releases the
+// target's effect slot and waits until a later effect on that target
+// wakes it via WakeAtFrom. On return the process has been re-granted (a
+// fresh ticket on the same target) and may re-examine the target's state.
+// The caller must have registered its watcher before calling (still under
+// the slot), so no satisfying write can slip between registration and the
+// park — writes to the target are serialized on the very slot being
+// released.
+func (h *Handle) BlockReleasing(target int) {
+	s, p := h.s, h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	p.state = stBlocked
+	s.opCnt--
+	p.conVer++
+	if s.tsink != nil {
+		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBlock, p.clock, 0, 0, 0)
+	}
+	s.pumpLocked()
+	s.mu.Unlock()
+	s.slotRelease(target)
+	h.waitGrant()
+	s.slotAcquire(target, p.ticket)
+}
+
+// WakeAtFrom makes the blocked process h runnable with its clock advanced
+// to at least clock, re-requesting the gate at that time. It must be
+// called from an effect that holds h's blocking target's slot (watcher
+// wake-ups always come from a write to that target).
+func (h *Handle) WakeAtFrom(clock int64, waker int) {
+	s, q := h.s, h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	if q.state != stBlocked {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("psim: wake of non-blocked process %d", q.id))
+	}
+	if clock > q.clock {
+		q.clock = clock
+	}
+	if s.tsink != nil {
+		s.tsink.Buf(q.id, trace.ClassSched).Emit(trace.EvWake, q.clock, int64(waker), 0, 0)
+	}
+	q.state = stReq
+	q.reqT, q.reqDur, q.reqWake = q.clock, 0, -1
+	// q.target keeps the slot it blocked on; the recheck re-reads it.
+	s.pushReq(q)
+	s.pumpLocked()
+	s.mu.Unlock()
+}
+
+// Barrier blocks until every live process has called Barrier, then sets
+// all clocks to the maximum arrival time plus the configured cost.
+func (h *Handle) Barrier() {
+	s, p := h.s, h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		panic(abortSignal{})
+	}
+	p.state = stBarrier
+	s.runCnt--
+	p.conVer++
+	if s.tsink != nil {
+		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBarrier, p.clock, 0, 0, 0)
+	}
+	s.arrived = append(s.arrived, p)
+	if len(s.arrived) == s.live {
+		s.releaseBarrierLocked()
+	}
+	s.pumpLocked()
+	s.mu.Unlock()
+	h.waitGrant()
+}
+
+// Block is part of the sequential scheduler interface but unused here:
+// package rma's psim path parks via BlockReleasing.
+func (h *Handle) Block() {
+	panic("psim: Block is not supported; use BlockReleasing")
+}
+
+// WakeAt is part of the sequential scheduler interface but unused here:
+// package rma's psim path wakes via WakeAtFrom.
+func (h *Handle) WakeAt(clock int64) {
+	panic("psim: WakeAt is not supported; use WakeAtFrom")
+}
+
+// releaseBarrierLocked completes the current barrier. Caller holds s.mu.
+func (s *Scheduler) releaseBarrierLocked() {
+	var max int64
+	for _, q := range s.arrived {
+		if q.clock > max {
+			max = q.clock
+		}
+	}
+	max += s.syncCost
+	for _, q := range s.arrived {
+		q.clock = max
+		q.state = stRun
+		q.bound = max
+		q.conVer++
+		s.pushCon(max, q.id, q)
+		s.runCnt++
+		s.sendGrant(q)
+	}
+	s.arrived = s.arrived[:0]
+}
+
+// exit removes the process from the simulation.
+func (h *Handle) exit() {
+	s, p := h.s, h.p
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return
+	}
+	p.state = stExited
+	p.conVer++
+	s.runCnt--
+	s.live--
+	if s.live > 0 && len(s.arrived) == s.live {
+		s.releaseBarrierLocked()
+	}
+	s.pumpLocked()
+	s.mu.Unlock()
+}
+
+// pumpLocked grants every request that is now safe, in global (t, id)
+// order: the heap-minimum request K is granted iff no live conservative
+// constraint — a running process's bound, an in-flight op's earliest next
+// access, or an in-flight op's earliest possible wake-up — is ordered at
+// or before K. In-flight effects always drain (per-target ticket order is
+// grant order, and an effect never waits on a later grant), so the gate
+// cannot deadlock on its own constraints. Afterwards it checks for
+// genuine simulation deadlock: nothing runnable, nothing requested,
+// nothing in flight, yet live processes remain parked.
+func (s *Scheduler) pumpLocked() {
+	for len(s.req) > 0 {
+		p := s.req[0]
+		if ct, cid, ok := s.minConLocked(); ok && !keyLess(p.reqT, p.id, ct, cid) {
+			break
+		}
+		s.popReq()
+		s.grantLocked(p)
+	}
+	if len(s.req) == 0 && s.opCnt == 0 && s.runCnt == 0 &&
+		s.live > 0 && len(s.arrived) < s.live && s.err == nil {
+		s.failLocked(sim.ErrDeadlock)
+	}
+}
+
+// grantLocked moves p from stReq to stInOp, assigns its effect ticket on
+// the target slot (in grant order — this is what serializes same-target
+// effects in linearization order) and publishes its in-flight bounds.
+func (s *Scheduler) grantLocked(p *proc) {
+	p.state = stInOp
+	s.opCnt++
+	p.conVer++
+	p.opBound = p.reqT + p.reqDur
+	s.pushCon(p.opBound, p.id, p)
+	if p.reqWake >= 0 {
+		p.wakeBound = p.reqT + p.reqWake
+		s.pushCon(p.wakeBound, -1, p)
+	} else {
+		p.wakeBound = math.MaxInt64
+	}
+	sl := &s.slots[p.target]
+	p.ticket = sl.next
+	sl.next++
+	s.sendGrant(p)
+}
+
+// waitGrant parks until the scheduler grants the process (or tears the
+// simulation down).
+func (h *Handle) waitGrant() {
+	<-h.p.grant
+	if h.s.failed.Load() {
+		panic(abortSignal{})
+	}
+}
+
+// slotAcquire waits until the caller's ticket is up on the target slot.
+func (s *Scheduler) slotAcquire(target int, ticket uint64) {
+	sl := &s.slots[target]
+	sl.mu.Lock()
+	for sl.turn != ticket {
+		if s.failed.Load() {
+			sl.mu.Unlock()
+			panic(abortSignal{})
+		}
+		sl.cond.Wait()
+	}
+	sl.mu.Unlock()
+	if s.failed.Load() {
+		panic(abortSignal{})
+	}
+}
+
+func (s *Scheduler) slotRelease(target int) {
+	sl := &s.slots[target]
+	sl.mu.Lock()
+	sl.turn++
+	sl.cond.Broadcast()
+	sl.mu.Unlock()
+}
+
+// fail aborts the simulation with err (first error wins) and wakes every
+// parked process so its goroutine can unwind.
+func (s *Scheduler) fail(err error) {
+	s.mu.Lock()
+	s.failLocked(err)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) failLocked(err error) {
+	if s.err != nil {
+		return
+	}
+	s.err = err
+	s.failed.Store(true)
+	for _, p := range s.procs {
+		if p.state != stExited {
+			s.sendGrant(p)
+		}
+	}
+	// Slot waiters need a broadcast under the slot mutex; s.mu must not
+	// nest inside slot mutexes (WakeAtFrom holds a slot when it takes
+	// s.mu), so hand the broadcasts to a fresh goroutine.
+	go s.wakeSlots()
+}
+
+func (s *Scheduler) wakeSlots() {
+	for i := range s.slots {
+		sl := &s.slots[i]
+		sl.mu.Lock()
+		sl.cond.Broadcast()
+		sl.mu.Unlock()
+	}
+}
+
+func (s *Scheduler) sendGrant(p *proc) {
+	select {
+	case p.grant <- struct{}{}:
+	default:
+		// Already has a pending grant (only possible during teardown).
+	}
+}
+
+func keyLess(at int64, aid int, bt int64, bid int) bool {
+	if at != bt {
+		return at < bt
+	}
+	return aid < bid
+}
+
+// Request heap: min-heap of requesting procs on (reqT, id).
+
+func (s *Scheduler) pushReq(p *proc) {
+	s.req = append(s.req, p)
+	i := len(s.req) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !keyLess(s.req[i].reqT, s.req[i].id, s.req[parent].reqT, s.req[parent].id) {
+			break
+		}
+		s.req[i], s.req[parent] = s.req[parent], s.req[i]
+		i = parent
+	}
+}
+
+func (s *Scheduler) popReq() *proc {
+	top := s.req[0]
+	n := len(s.req) - 1
+	s.req[0] = s.req[n]
+	s.req[n] = nil
+	s.req = s.req[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && keyLess(s.req[l].reqT, s.req[l].id, s.req[small].reqT, s.req[small].id) {
+			small = l
+		}
+		if r < n && keyLess(s.req[r].reqT, s.req[r].id, s.req[small].reqT, s.req[small].id) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.req[i], s.req[small] = s.req[small], s.req[i]
+		i = small
+	}
+	return top
+}
+
+// Constraint heap: min-heap of conservative bounds on (t, id), retired
+// lazily by version stamp.
+
+func (s *Scheduler) pushCon(t int64, id int, p *proc) {
+	s.cons = append(s.cons, conEntry{t: t, id: id, p: p, ver: p.conVer})
+	i := len(s.cons) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !keyLess(s.cons[i].t, s.cons[i].id, s.cons[parent].t, s.cons[parent].id) {
+			break
+		}
+		s.cons[i], s.cons[parent] = s.cons[parent], s.cons[i]
+		i = parent
+	}
+}
+
+// minConLocked returns the smallest live constraint key, discarding
+// retired entries from the top. Caller holds s.mu.
+func (s *Scheduler) minConLocked() (t int64, id int, ok bool) {
+	for len(s.cons) > 0 {
+		e := s.cons[0]
+		if e.ver == e.p.conVer {
+			return e.t, e.id, true
+		}
+		s.popCon()
+	}
+	return 0, 0, false
+}
+
+func (s *Scheduler) popCon() {
+	n := len(s.cons) - 1
+	s.cons[0] = s.cons[n]
+	s.cons[n] = conEntry{}
+	s.cons = s.cons[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && keyLess(s.cons[l].t, s.cons[l].id, s.cons[small].t, s.cons[small].id) {
+			small = l
+		}
+		if r < n && keyLess(s.cons[r].t, s.cons[r].id, s.cons[small].t, s.cons[small].id) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.cons[i], s.cons[small] = s.cons[small], s.cons[i]
+		i = small
+	}
+}

@@ -29,7 +29,7 @@ func benchGrid() sweep.Grid {
 func BenchmarkSweepGrid(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
-			cells := benchGrid().Cells()
+			cells := mustCells(b, benchGrid())
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -49,7 +49,7 @@ func BenchmarkSweepGrid(b *testing.B) {
 // BenchmarkSweepCheck measures the -check mode (every cell twice), the
 // heaviest repeated-cell pattern the pools are built for.
 func BenchmarkSweepCheck(b *testing.B) {
-	cells := benchGrid().Cells()
+	cells := mustCells(b, benchGrid())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

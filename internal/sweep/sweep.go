@@ -17,6 +17,8 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -164,8 +166,16 @@ func runOnce(c Cell) (workload.Report, int, *trace.Sink, error) {
 }
 
 // Grid enumerates a scheme × workload × profile × P (× tunables, see
-// Tunables) parameter space with shared cell parameters. Zero fields
-// select the defaults of the paper's evaluation setup (fill).
+// Tunables) parameter space with shared cell parameters.
+//
+// Zero fields select the defaults of the paper's evaluation setup:
+// Ps {64}, ProcsPerNode 16, Iters 50, Seed 1, Locks 8, ZipfS 1.2.
+// FW, ThinkNs and ThinkJitterNs default to 0 (zero is their natural
+// meaning). For the two fields where zero is also a legitimate explicit
+// setting — Seed and ZipfS — the SeedSet/ZipfSSet flags suppress the
+// default fill; zero-valued grids without the flags keep enumerating
+// the default parameter space byte-identically (persisted baselines
+// never move).
 type Grid struct {
 	// Schemes, Workloads and Profiles name the axes (workload.Schemes,
 	// workload.WorkloadNames, workload.ProfileNames).
@@ -181,15 +191,25 @@ type Grid struct {
 	// Iters is the measured cycles per process (default 50); it also
 	// sets the sweep profile's span.
 	Iters int
-	// Seed seeds every cell (default 1).
+	// Seed seeds every cell (default 1 unless SeedSet). Note the machine
+	// layer treats seed 0 as 1 too, so an explicit zero seed runs the
+	// same simulation as the default — SeedSet only keeps the grid from
+	// rewriting the field.
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen: fill leaves a zero Seed
+	// alone instead of defaulting it to 1.
+	SeedSet bool
 	// FW is the writer fraction handed to the profiles.
 	FW float64
 	// Locks is the lock-set size for multi-lock profiles (default 8;
 	// clamped to P for the sharded DHT workload).
 	Locks int
-	// ZipfS is the Zipf skew exponent (default 1.2).
+	// ZipfS is the Zipf skew exponent (default 1.2 unless ZipfSSet).
 	ZipfS float64
+	// ZipfSSet marks ZipfS as explicitly chosen: fill leaves a zero
+	// exponent alone, making S=0 (a uniform draw — every lock equally
+	// hot) expressible from the workbench (-zipfs 0).
+	ZipfSSet bool
 	// ThinkNs / ThinkJitterNs set post-release think time.
 	ThinkNs       int64
 	ThinkJitterNs int64
@@ -226,13 +246,13 @@ func (g Grid) fill() Grid {
 	if g.Iters == 0 {
 		g.Iters = 50
 	}
-	if g.Seed == 0 {
+	if g.Seed == 0 && !g.SeedSet {
 		g.Seed = 1
 	}
 	if g.Locks == 0 {
 		g.Locks = 8
 	}
-	if g.ZipfS == 0 {
+	if g.ZipfS == 0 && !g.ZipfSSet {
 		g.ZipfS = 1.2
 	}
 	return g
@@ -246,19 +266,33 @@ type TunableAxis struct {
 	Values []int64
 }
 
+// DuplicateAxisError reports a tunables axis key that appears more than
+// once in a grid. A repeated key cannot cross-product: later values
+// would overwrite earlier ones inside each combination, enumerating
+// duplicate cell Keys that silently collide in Compare.
+type DuplicateAxisError struct {
+	Key string
+}
+
+func (e DuplicateAxisError) Error() string {
+	return fmt.Sprintf("sweep: duplicate tunables axis %q", e.Key)
+}
+
 // combos expands the cross-product of the axes in declaration order
 // (first axis outermost). No axes — or axes with no values — yield the
 // single empty combination. Axis keys must be distinct; a repeated key
-// is skipped (first axis wins), because its cross-product would
-// enumerate duplicate cell Keys that silently collide in Compare.
-func combos(axes []TunableAxis) []scheme.Tunables {
+// yields a DuplicateAxisError rather than a silent first-wins skip.
+func combos(axes []TunableAxis) ([]scheme.Tunables, error) {
 	out := []scheme.Tunables{nil}
 	seen := map[string]bool{}
 	for _, ax := range axes {
-		if len(ax.Values) == 0 || seen[ax.Key] {
-			continue
+		if seen[ax.Key] {
+			return nil, DuplicateAxisError{Key: ax.Key}
 		}
 		seen[ax.Key] = true
+		if len(ax.Values) == 0 {
+			continue
+		}
 		next := make([]scheme.Tunables, 0, len(out)*len(ax.Values))
 		for _, base := range out {
 			for _, v := range ax.Values {
@@ -272,7 +306,7 @@ func combos(axes []TunableAxis) []scheme.Tunables {
 		}
 		out = next
 	}
-	return out
+	return out, nil
 }
 
 // axesFor projects the grid's tunable axes onto one scheme: only axes
@@ -300,12 +334,20 @@ func axesFor(schemeName string, axes []TunableAxis) []TunableAxis {
 // Cells enumerates the grid in canonical order: scheme outermost, then
 // workload, then profile, then P, then the tunables cross-product
 // (first axis outermost). Reports, baselines and diffs all follow this
-// order.
-func (g Grid) Cells() []Cell {
+// order. A repeated tunables axis key yields a DuplicateAxisError —
+// checked on the full axis list, before per-scheme projection, so the
+// same grid fails the same way regardless of which schemes it names.
+func (g Grid) Cells() ([]Cell, error) {
 	g = g.fill()
+	if _, err := combos(g.Tunables); err != nil {
+		return nil, err
+	}
 	var cells []Cell
 	for _, schemeName := range g.Schemes {
-		tuns := combos(axesFor(schemeName, g.Tunables))
+		tuns, err := combos(axesFor(schemeName, g.Tunables))
+		if err != nil {
+			return nil, err
+		}
 		for _, wname := range g.Workloads {
 			for _, pname := range g.Profiles {
 				for _, p := range g.Ps {
@@ -316,7 +358,7 @@ func (g Grid) Cells() []Cell {
 			}
 		}
 	}
-	return cells
+	return cells, nil
 }
 
 func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables) Cell {
@@ -333,7 +375,7 @@ func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables) 
 				nlocks = p
 			}
 			prof, err := workload.ProfileByName(pname, workload.ProfileOpts{
-				Locks: nlocks, FW: g.FW, ZipfS: g.ZipfS, Span: g.Iters,
+				Locks: nlocks, FW: g.FW, ZipfS: g.ZipfS, ZipfSSet: g.ZipfSSet, Span: g.Iters,
 				ThinkNs: g.ThinkNs, ThinkJitterNs: g.ThinkJitterNs,
 			})
 			if err != nil {
@@ -370,8 +412,12 @@ func Table(title string, results []CellResult) *stats.Table {
 	}
 	for _, r := range results {
 		rep := r.Report
+		// Gate on either trace-derived signal, mirroring the Report
+		// fingerprint's trace section: a cell can produce a fairness
+		// index without a handoff-locality histogram (no handoffs
+		// crossed the analyzer), and its Jain column must still render.
 		jain := "-"
-		if rep.HandoffLocality != nil {
+		if rep.Fairness != 0 || rep.HandoffLocality != nil {
 			jain = stats.FmtF(rep.Fairness)
 		}
 		t.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(rep.P), orDash(r.Key.Tunables), fmt.Sprint(r.Locks),
@@ -389,23 +435,22 @@ func orDash(s string) string {
 	return s
 }
 
-// extraString flattens workload-specific extras into one cell, in a
-// fixed key order so rendering stays deterministic.
+// extraString flattens workload-specific extras into one cell, every
+// key in sorted order so rendering stays deterministic (map iteration
+// order must never leak in) and new workloads' extras show up without
+// touching an allowlist.
 func extraString(rep workload.Report) string {
 	if len(rep.Extra) == 0 {
 		return "-"
 	}
-	out := ""
-	for _, k := range []string{"stored", "overflows", "counter"} {
-		if v, ok := rep.Extra[k]; ok {
-			if out != "" {
-				out += " "
-			}
-			out += fmt.Sprintf("%s=%g", k, v)
-		}
+	keys := make([]string, 0, len(rep.Extra))
+	for k := range rep.Extra {
+		keys = append(keys, k)
 	}
-	if out == "" {
-		return "-"
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%g", k, rep.Extra[k])
 	}
-	return out
+	return strings.Join(parts, " ")
 }

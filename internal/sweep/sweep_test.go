@@ -12,6 +12,16 @@ import (
 	"rmalocks/internal/workload"
 )
 
+// mustCells enumerates a grid that the test knows is well-formed.
+func mustCells(tb testing.TB, g sweep.Grid) []sweep.Cell {
+	tb.Helper()
+	cells, err := g.Cells()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cells
+}
+
 // testGrid is a small but representative grid: two schemes (one mutex,
 // one RW), two profiles, two process counts.
 func testGrid() sweep.Grid {
@@ -30,12 +40,12 @@ func TestSerialAndParallelByteIdentical(t *testing.T) {
 	// The acceptance gate: the same grid run with one worker and with
 	// many workers must merge to byte-identical output — fingerprints,
 	// rendered table, and CSV alike.
-	cells := testGrid().Cells()
+	cells := mustCells(t, testGrid())
 	serial, err := sweep.Run(cells, sweep.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := sweep.Run(testGrid().Cells(), sweep.Options{Workers: 8})
+	parallel, err := sweep.Run(mustCells(t, testGrid()), sweep.Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,12 +71,12 @@ func TestSerialAndParallelByteIdentical(t *testing.T) {
 }
 
 func TestGridCanonicalOrder(t *testing.T) {
-	cells := sweep.Grid{
+	cells := mustCells(t, sweep.Grid{
 		Schemes:   []string{"A", "B"},
 		Workloads: []string{"w"},
 		Profiles:  []string{"p", "q"},
 		Ps:        []int{1, 2},
-	}.Cells()
+	})
 	var got []string
 	for _, c := range cells {
 		got = append(got, c.Key.String())
@@ -83,7 +93,7 @@ func TestGridCanonicalOrder(t *testing.T) {
 func TestRunCheckMode(t *testing.T) {
 	g := testGrid()
 	g.Ps = []int{8}
-	if _, err := sweep.Run(g.Cells(), sweep.Options{Workers: 4, Check: true}); err != nil {
+	if _, err := sweep.Run(mustCells(t, g), sweep.Options{Workers: 4, Check: true}); err != nil {
 		t.Fatalf("deterministic grid failed -check: %v", err)
 	}
 }
@@ -91,26 +101,31 @@ func TestRunCheckMode(t *testing.T) {
 func TestRunPropagatesCellErrors(t *testing.T) {
 	g := testGrid()
 	g.Schemes = []string{"no-such-scheme"}
-	if _, err := sweep.Run(g.Cells(), sweep.Options{}); err == nil {
+	if _, err := sweep.Run(mustCells(t, g), sweep.Options{}); err == nil {
 		t.Fatal("want error for unknown scheme")
 	}
 }
 
 func TestForEachDeterministicFirstError(t *testing.T) {
+	// The lowest-index failure must win for every worker count: serial,
+	// fewer workers than failures, oversubscribed (workers > jobs, which
+	// ForEach clamps), and the GOMAXPROCS default (0).
 	errLow, errHigh := errors.New("low"), errors.New("high")
-	for trial := 0; trial < 8; trial++ {
-		err := sweep.ForEach(32, 8, func(i int) error {
-			switch i {
-			case 3:
-				return errLow
-			case 20:
-				return errHigh
-			default:
-				return nil
+	for _, workers := range []int{0, 1, 2, 5, 8, 32, 64} {
+		for trial := 0; trial < 8; trial++ {
+			err := sweep.ForEach(32, workers, func(i int) error {
+				switch i {
+				case 3:
+					return errLow
+				case 20:
+					return errHigh
+				default:
+					return nil
+				}
+			})
+			if !errors.Is(err, errLow) {
+				t.Fatalf("workers=%d trial %d: err=%v want lowest-index error", workers, trial, err)
 			}
-		})
-		if !errors.Is(err, errLow) {
-			t.Fatalf("trial %d: err=%v want lowest-index error", trial, err)
 		}
 	}
 }
@@ -131,7 +146,7 @@ func TestForEachRunsEveryJob(t *testing.T) {
 func TestSaveLoadCompareRoundTrip(t *testing.T) {
 	g := testGrid()
 	g.Ps = []int{8}
-	results, err := sweep.Run(g.Cells(), sweep.Options{Workers: 4})
+	results, err := sweep.Run(mustCells(t, g), sweep.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +164,7 @@ func TestSaveLoadCompareRoundTrip(t *testing.T) {
 
 	// A re-run of the same grid against the loaded baseline must show
 	// zero deltas and byte-identical fingerprints on every cell.
-	rerun, err := sweep.Run(g.Cells(), sweep.Options{Workers: 1})
+	rerun, err := sweep.Run(mustCells(t, g), sweep.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,10 +182,136 @@ func TestSaveLoadCompareRoundTrip(t *testing.T) {
 	}
 }
 
+// tableRow renders a one-cell table and returns its single data row.
+func tableRow(t *testing.T, rep workload.Report) string {
+	t.Helper()
+	tbl := sweep.Table("t", []sweep.CellResult{{Report: rep}})
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	return lines[len(lines)-1]
+}
+
+// TestTableJainGate: the Jain column must render whenever either
+// trace-derived signal is present — in particular a fairness index
+// without a handoff-locality histogram (a traced cell whose handoffs
+// never reached the analyzer) — and stay "-" for untraced cells.
+func TestTableJainGate(t *testing.T) {
+	base := workload.Report{Scheme: "s", Workload: "w", Profile: "p", P: 4}
+
+	fairOnly := base
+	fairOnly.Fairness = 0.9375 // no HandoffLocality
+	if row := tableRow(t, fairOnly); !strings.Contains(row, "0.9375") {
+		t.Errorf("fairness-only row lacks the Jain index: %q", row)
+	}
+
+	withHist := base
+	withHist.Fairness = 0.9375
+	withHist.HandoffLocality = []int64{1, 2}
+	if row := tableRow(t, withHist); !strings.Contains(row, "0.9375") {
+		t.Errorf("traced row lacks the Jain index: %q", row)
+	}
+
+	if row := tableRow(t, base); strings.Count(row, "-") < 2 {
+		// Untraced: both the Jain and Extra columns render as "-".
+		t.Errorf("untraced row should dash the Jain column: %q", row)
+	}
+}
+
+// TestTableExtraAllKeys: the Extra column renders every key of the
+// report's Extra map in sorted order — including keys no workload
+// shipped when the column was written — so new workloads' extras are
+// never silently dropped, and rendering stays deterministic.
+func TestTableExtraAllKeys(t *testing.T) {
+	rep := workload.Report{Scheme: "s", Workload: "w", Profile: "p", P: 4,
+		Extra: map[string]float64{
+			"zz_new":    3,
+			"stored":    128,
+			"aa_metric": 0.5,
+			"overflows": 7,
+		}}
+	row := tableRow(t, rep)
+	const want = "aa_metric=0.5 overflows=7 stored=128 zz_new=3"
+	if !strings.Contains(row, want) {
+		t.Errorf("extra column not sorted-complete:\n row:  %q\n want: %q", row, want)
+	}
+
+	empty := workload.Report{Scheme: "s", Workload: "w", Profile: "p", P: 4}
+	if row := tableRow(t, empty); !strings.HasSuffix(strings.TrimRight(row, " "), "-") {
+		t.Errorf("empty extras should render as dash: %q", row)
+	}
+}
+
+// TestGridExplicitZeroZipfS: ZipfSSet makes the zero exponent (a
+// uniform draw) expressible, while a zero-valued grid without the flag
+// keeps the documented 1.2 default — existing baselines never move.
+func TestGridExplicitZeroZipfS(t *testing.T) {
+	g := sweep.Grid{
+		Schemes:   []string{workload.SchemeDMCS},
+		Workloads: []string{"empty"},
+		Profiles:  []string{"zipf"},
+		Ps:        []int{8},
+		Iters:     8,
+	}
+	spec := func(g sweep.Grid) workload.Spec {
+		cells := mustCells(t, g)
+		s, err := cells[0].Spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	if s := spec(g).Profile.(*workload.Zipf).S(); s != 1.2 {
+		t.Errorf("defaulted grid ZipfS = %v, want 1.2", s)
+	}
+
+	g.ZipfSSet = true // ZipfS stays 0: explicitly uniform
+	if s := spec(g).Profile.(*workload.Zipf).S(); s != 0 {
+		t.Errorf("explicit-zero grid ZipfS = %v, want 0", s)
+	}
+	if seed := spec(g).Seed; seed != 1 {
+		t.Errorf("Seed defaulting perturbed by ZipfSSet: %v", seed)
+	}
+
+	g.ZipfSSet = false
+	g.SeedSet = true // Seed stays 0 (the machine layer maps it to 1)
+	if seed := spec(g).Seed; seed != 0 {
+		t.Errorf("explicit-zero seed rewritten to %v", seed)
+	}
+}
+
+// TestCellsDuplicateAxis: a repeated tunables axis key must surface as
+// a typed error from enumeration instead of a silent first-wins skip —
+// even when no named scheme accepts the key (projection would otherwise
+// hide the duplicate).
+func TestCellsDuplicateAxis(t *testing.T) {
+	g := sweep.Grid{
+		Schemes:   []string{workload.SchemeRMARW},
+		Workloads: []string{"empty"},
+		Profiles:  []string{"uniform"},
+		Ps:        []int{8},
+		Tunables: []sweep.TunableAxis{
+			{Key: "TR", Values: []int64{100}},
+			{Key: "TR", Values: []int64{200}},
+		},
+	}
+	_, err := g.Cells()
+	var dup sweep.DuplicateAxisError
+	if !errors.As(err, &dup) || dup.Key != "TR" {
+		t.Fatalf("err = %v, want DuplicateAxisError{TR}", err)
+	}
+
+	// foMPI-Spin accepts no TR axis at all: the duplicate must still be
+	// rejected (checked before per-scheme projection).
+	g.Schemes = []string{workload.SchemeFoMPISpin}
+	if _, err := g.Cells(); !errors.As(err, &dup) {
+		t.Fatalf("projection hid the duplicate axis: err = %v", err)
+	}
+}
+
 func TestCompareDetectsMovementAndMissingCells(t *testing.T) {
 	g := testGrid()
 	g.Ps = []int{8}
-	base, err := sweep.Run(g.Cells(), sweep.Options{})
+	base, err := sweep.Run(mustCells(t, g), sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

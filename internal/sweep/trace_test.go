@@ -24,12 +24,12 @@ func TestGridTraceCells(t *testing.T) {
 		Iters:     8,
 		FW:        1,
 	}
-	plain, err := sweep.Run(g.Cells(), sweep.Options{})
+	plain, err := sweep.Run(mustCells(t, g), sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	g.Trace = trace.ClassLock
-	traced, err := sweep.Run(g.Cells(), sweep.Options{Check: true})
+	traced, err := sweep.Run(mustCells(t, g), sweep.Options{Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func tunedGrid() sweep.Grid {
 // axes (3×2 = 6 cells), foMPI-Spin accepts neither (1 untuned cell),
 // in canonical order with the combination folded into each key.
 func TestTunablesCrossProduct(t *testing.T) {
-	cells := tunedGrid().Cells()
+	cells := mustCells(t, tunedGrid())
 	var keys []string
 	for _, c := range cells {
 		keys = append(keys, c.Key.String())
@@ -62,7 +62,7 @@ func TestTunablesCrossProduct(t *testing.T) {
 // report must carry its tunables, distinct tunables must yield
 // distinct fingerprints, and the keys must survive a JSON round-trip.
 func TestTunablesRunAndFingerprint(t *testing.T) {
-	cells := tunedGrid().Cells()
+	cells := mustCells(t, tunedGrid())
 	results, err := sweep.Run(cells, sweep.Options{Workers: 2, Check: true})
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +134,7 @@ func TestBaselineStillByteIdentical(t *testing.T) {
 		Ps:        []int{16},
 		FW:        0.1, // the Makefile's sweep shape (workbench default)
 	}
-	results, err := sweep.Run(grid.Cells(), sweep.Options{})
+	results, err := sweep.Run(mustCells(t, grid), sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,15 @@
 package workload_test
 
 // Differential determinism suite: the token-owned fast-path scheduler
-// (internal/sim) against the reference engine (internal/sim/refsim), and
-// charge coalescing (internal/rma) against uncoalesced charging. For
-// every lock scheme × contention profile cell, all four engine/coalesce
-// combinations must produce byte-identical reports and equal MaxClock —
-// the fast path and the coalescer are pure optimisations, never allowed
-// to change a single virtual-time decision. Run under -race in CI to
-// also exercise the fast path's lock-free clock increments.
+// (internal/sim) against the reference engine (internal/sim/refsim) and
+// the conservative parallel engine (internal/sim/psim), and charge
+// coalescing (internal/rma) against uncoalesced charging. For every lock
+// scheme × contention profile cell, all six engine/coalesce combinations
+// must produce byte-identical reports and equal MaxClock — the fast
+// path, the coalescer and the parallel gate are pure optimisations,
+// never allowed to change a single virtual-time decision. Run under
+// -race in CI to also exercise the fast path's lock-free clock
+// increments and the parallel engine's cross-goroutine effects.
 
 import (
 	"fmt"
@@ -41,6 +43,8 @@ var engineCases = []engineCase{
 	{"fast-nocoalesce", rma.EngineFast, true},
 	{"ref", rma.EngineRef, false},
 	{"ref-nocoalesce", rma.EngineRef, true},
+	{"psim", rma.EnginePSim, false},
+	{"psim-nocoalesce", rma.EnginePSim, true},
 }
 
 func TestDifferentialEnginesAllSchemesProfiles(t *testing.T) {
@@ -83,6 +87,24 @@ func TestDifferentialEnginesAllSchemesProfiles(t *testing.T) {
 	}
 }
 
+// semanticLines renders the merged event stream one event per line with
+// every semantically meaningful field: clock, rank, kind, args. Two
+// normalizations against raw WriteCSV output: EvDispatch is dropped (the
+// parallel engine has no execution token, so token-handoff events exist
+// only on the sequential engines) and Seq is omitted (dispatch events
+// consume per-rank sequence numbers, shifting them; the canonical merge
+// order already encodes what Seq pins — per-rank program order).
+func semanticLines(events []trace.Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		if e.Kind == trace.EvDispatch {
+			continue
+		}
+		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%d\n", e.Clock, e.Rank, e.Kind, e.Arg0, e.Arg1, e.Arg2)
+	}
+	return b.String()
+}
+
 // TestDifferentialTraceStreams is the trace ↔ coalescing interplay
 // gate: for every engine × coalescing combination, the merged semantic
 // event stream (scheduler handoffs, RMA ops, lock protocol — everything
@@ -90,14 +112,19 @@ func TestDifferentialEnginesAllSchemesProfiles(t *testing.T) {
 // and must replay cleanly through trace.Validate. Charge coalescing may
 // move *when* virtual time is published, but never when anything
 // observable happens; this test pins that at per-event granularity.
+// The sequential engines must match on the raw CSV (including EvDispatch
+// handoffs and Seq numbers); psim must match them on the dispatch-free
+// semantic rendering (see semanticLines) — every block, wake, barrier,
+// op and lock event at the same clock with the same arguments.
 // Runs under -race in CI (the race job's Differential pattern), which
-// also exercises the lock-free emission path of the fast engine.
+// also exercises the lock-free emission path of the fast engine and the
+// parallel engine's gate.
 func TestDifferentialTraceStreams(t *testing.T) {
 	for _, scheme := range workload.Schemes {
 		scheme := scheme
 		t.Run(scheme, func(t *testing.T) {
 			t.Parallel()
-			var baseCSV string
+			var baseCSV, baseSem string
 			for i, ec := range engineCases {
 				sink := trace.New(trace.ClassSemantic)
 				spec := workload.Spec{
@@ -121,19 +148,28 @@ func TestDifferentialTraceStreams(t *testing.T) {
 				if err := trace.WriteCSV(&b, events); err != nil {
 					t.Fatal(err)
 				}
+				sem := semanticLines(events)
 				if i == 0 {
-					baseCSV = b.String()
+					baseCSV, baseSem = b.String(), sem
 					if len(events) == 0 {
 						t.Fatal("empty event stream")
 					}
 					continue
 				}
-				if b.String() != baseCSV {
+				got := b.String()
+				if ec.engine == rma.EnginePSim {
+					got = sem // no dispatch events: compare the semantic rendering
+				}
+				want := baseCSV
+				if ec.engine == rma.EnginePSim {
+					want = baseSem
+				}
+				if got != want {
 					t.Errorf("%s event stream diverged from %s (%d vs %d lines)",
 						ec.name, engineCases[0].name,
-						strings.Count(b.String(), "\n"), strings.Count(baseCSV, "\n"))
+						strings.Count(got, "\n"), strings.Count(want, "\n"))
 					// Show the first diverging line for debugging.
-					a, bb := strings.Split(baseCSV, "\n"), strings.Split(b.String(), "\n")
+					a, bb := strings.Split(want, "\n"), strings.Split(got, "\n")
 					for j := 0; j < len(a) && j < len(bb); j++ {
 						if a[j] != bb[j] {
 							t.Errorf("first divergence at line %d:\n a: %s\n b: %s", j, a[j], bb[j])

@@ -116,10 +116,12 @@ type Zipf struct {
 }
 
 // NewZipf builds a Zipf profile over numLocks locks with skew exponent s
-// (s <= 0 selects the default 1.2) and writer fraction fw.
+// and writer fraction fw. A negative s selects the default 1.2; s == 0
+// is a legitimate setting — the skew degenerates to a uniform draw
+// (every lock equally hot).
 func NewZipf(numLocks int, s, fw float64) *Zipf {
 	n := lockCount(numLocks)
-	if s <= 0 {
+	if s < 0 {
 		s = 1.2
 	}
 	cdf := make([]float64, n)
@@ -264,8 +266,11 @@ type ProfileOpts struct {
 	Locks int
 	// FW is the writer fraction (sweep uses it as the end point).
 	FW float64
-	// ZipfS is the Zipf skew exponent (default 1.2).
+	// ZipfS is the Zipf skew exponent (default 1.2 unless ZipfSSet).
 	ZipfS float64
+	// ZipfSSet marks ZipfS as explicitly chosen: a zero exponent then
+	// means a uniform draw instead of the 1.2 default.
+	ZipfSSet bool
 	// Span is the sweep length in iterations (default 100).
 	Span int
 	// ThinkNs / ThinkJitterNs set post-release think time.
@@ -279,7 +284,11 @@ func ProfileByName(name string, o ProfileOpts) (Profile, error) {
 	case "uniform":
 		return Uniform{NumLocks: o.Locks, FW: o.FW, ThinkNs: o.ThinkNs, ThinkJitterNs: o.ThinkJitterNs}, nil
 	case "zipf":
-		z := NewZipf(o.Locks, o.ZipfS, o.FW)
+		s := o.ZipfS
+		if s == 0 && !o.ZipfSSet {
+			s = 1.2
+		}
+		z := NewZipf(o.Locks, s, o.FW)
 		z.ThinkNs, z.ThinkJitterNs = o.ThinkNs, o.ThinkJitterNs
 		return z, nil
 	case "bursty":

@@ -321,7 +321,8 @@ type (
 var WorkloadSchemes = workload.Schemes
 
 // NewZipfProfile builds a Zipf-skewed contention profile over numLocks
-// locks with skew exponent s (<=0 selects 1.2) and writer fraction fw.
+// locks with skew exponent s (<0 selects 1.2; 0 degenerates to a
+// uniform draw) and writer fraction fw.
 func NewZipfProfile(numLocks int, s, fw float64) *workload.Zipf {
 	return workload.NewZipf(numLocks, s, fw)
 }

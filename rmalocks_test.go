@@ -156,7 +156,11 @@ func TestSweepFacade(t *testing.T) {
 		Ps:        []int{8, 16},
 		Iters:     8,
 	}
-	results, err := rmalocks.RunSweep(grid.Cells(), rmalocks.SweepOptions{Workers: 2, Check: true})
+	cells, err := grid.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := rmalocks.RunSweep(cells, rmalocks.SweepOptions{Workers: 2, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
