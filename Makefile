@@ -4,7 +4,7 @@ GO ?= go
 # `make compare` (re-run + per-cell diff against it).
 SWEEP_FLAGS = -profiles uniform,zipf,bursty,sweep -ps 16,32,64
 
-.PHONY: build test race bench bench-trajectory bench-smoke grid sweep compare trace paramspace clean
+.PHONY: build test race bench bench-trajectory bench-smoke million-smoke scale grid sweep compare trace paramspace clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,28 @@ bench-smoke:
 		> bench-smoke.txt
 	@cat bench-smoke.txt
 	$(GO) run ./cmd/benchjson -in bench-smoke.txt -out bench-smoke.json
+
+# Million-rank smoke: one 2^20-rank cell through the memory-flat core.
+# The uniform profile with fw=1/locks=1 draws no per-rank randomness, so
+# the run allocates zero lazy RNGs; RMA-MCS is the O(P)-total-ops queue
+# lock, so the event budget stays linear in P. -memstats reports heap
+# and sys bytes per rank (goroutine stacks dominate the latter).
+million-smoke:
+	$(GO) run ./cmd/workbench -schemes RMA-MCS -workloads empty \
+		-profiles uniform -fw 1 -locks 1 -ps 1048576 -iters 1 -memstats
+
+# Weak-scaling study for the memory-flat core: P from 2^10 to 2^20 on
+# the empty workload (pure lock handoff traffic) with per-rank memory
+# cost columns. Host-dependent (-memstats feeds Extra, which feeds the
+# fingerprint), so this baseline documents scaling shape — it is not a
+# byte-identical compare gate like results/sweep.json.
+scale:
+	@mkdir -p results
+	$(GO) run ./cmd/workbench -schemes RMA-MCS -workloads empty \
+		-profiles uniform -fw 1 -locks 1 \
+		-ps 1024,4096,16384,65536,262144,1048576 -iters 1 -memstats \
+		-out results/scale.json > results/scale.txt
+	@cat results/scale.txt
 
 # One full scheme × workload × profile grid with reproducibility check.
 # Redirect-then-cat instead of `| tee`: a pipe would mask a failing

@@ -69,6 +69,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare against a persisted run and report per-cell deltas")
 		tol       = flag.Float64("tol", 0, "throughput-regression tolerance in percent for -baseline (exit 1 beyond it)")
 		engine    = flag.String("engine", "", "scheduler engine: '' or 'fast' (token-owned fast path), 'ref' (reference; differential runs), 'psim' (conservative parallel)")
+		memstats  = flag.Bool("memstats", false, "report heap/sys bytes per rank in each cell's Extra column (host-dependent; breaks byte-identical baseline diffs)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 		memprof   = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 		traceOut  = flag.String("trace", "", "capture event traces and export Chrome trace-event JSON (Perfetto-loadable; summarize with traceview); multi-cell grids get one file per cell")
@@ -109,6 +110,7 @@ func main() {
 			Ps:        parsePs(*psFlag, *p),
 			Iters:     *iters, ProcsPerNode: *ppn, Seed: *seed, SeedSet: seedSet,
 			FW: *fw, Locks: *nlocks, ZipfS: *zipfS, ZipfSSet: zipfSSet, Engine: *engine,
+			MemStats: *memstats,
 			Tunables: tunes,
 		},
 		jobs: *jobs, check: *check, csv: *csv,

@@ -5,6 +5,7 @@ package rmalocks_test
 // NewMachineErr.
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -97,6 +98,16 @@ func TestNewMachineErrValidation(t *testing.T) {
 	} {
 		if _, err := rmalocks.NewMachineErr(spec); err == nil {
 			t.Errorf("invalid spec %+v accepted", spec)
+		}
+	}
+	// A rank count overflowing int32 rank ids is rejected with the
+	// typed, errors.As-matchable RankOverflowError.
+	if _, err := rmalocks.NewMachineErr(rmalocks.MachineSpec{Nodes: 1 << 20, ProcsPerNode: 1 << 12}); err == nil {
+		t.Error("2^32-rank spec accepted")
+	} else {
+		var roe *rmalocks.RankOverflowError
+		if !errors.As(err, &roe) {
+			t.Errorf("overflow error %v is not a *RankOverflowError", err)
 		}
 	}
 	// Valid specs still work, including the three-level form.

@@ -15,7 +15,6 @@ package rma
 
 import (
 	"fmt"
-	"math/rand"
 
 	"rmalocks/internal/sim"
 	"rmalocks/internal/sim/psim"
@@ -123,6 +122,7 @@ type Machine struct {
 	ran        bool
 	stats      Stats
 	shards     []Stats // per-rank stat shards (psim only; merged after the run)
+	procBuf    []Proc  // flat per-rank Proc slab, reused across runs
 	look       lookahead
 	maxClk     int64
 }
@@ -259,14 +259,25 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	}
 	m.ran = true
 	m.stats = Stats{PerDistance: make([]OpCount, m.topo.MaxDistance()+1)}
-	simCfg := sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost, Trace: m.sink}
+	simCfg := sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost, Trace: m.sink, ShardSize: m.topo.ProcsPerLeaf()}
+	if cap(m.procBuf) >= p {
+		m.procBuf = m.procBuf[:p]
+	} else {
+		m.procBuf = make([]Proc, p)
+	}
 	wrap := func(h schedHandle) {
-		proc := &Proc{
+		// Procs live in one flat slab indexed by rank (no per-rank boxing).
+		// Each rank writes only its own slot, so the parallel engine's
+		// concurrent wrap calls stay race-free; the full re-initialization
+		// clears any state left by a previous run. The RNG is built lazily
+		// by Rand(): a rand.Rand is ~5KB, which at 10^6 ranks would dwarf
+		// the flat scheduler state, and most workload profiles never draw.
+		proc := &m.procBuf[h.ID()]
+		*proc = Proc{
 			m:    m,
 			rank: h.ID(),
 			h:    h,
 			st:   &m.stats,
-			rng:  rand.New(rand.NewSource(m.seed*1000003 + int64(h.ID()))),
 		}
 		if gh, ok := h.(gateHandle); ok {
 			// Parallel engine: gate every shared access and shard the

@@ -21,7 +21,10 @@ type Proc struct {
 	gate gateHandle
 	// st receives operation counts: &m.stats sequentially, a per-rank
 	// shard under the parallel engine (merged after the run).
-	st  *Stats
+	st *Stats
+	// rng is built lazily by Rand(): a rand.Rand costs ~5KB, so eager
+	// per-rank construction would dominate memory at million-rank scale
+	// while most programs never draw from it.
 	rng *rand.Rand
 	// pending is virtual time charged but not yet published to the
 	// scheduler (charge coalescing, see spend). The process's effective
@@ -44,8 +47,16 @@ func (p *Proc) Machine() *Machine { return p.m }
 // including charges coalesced but not yet published to the scheduler.
 func (p *Proc) Now() int64 { return p.h.Clock() + p.pending }
 
-// Rand returns the process's deterministic random source.
-func (p *Proc) Rand() *rand.Rand { return p.rng }
+// Rand returns the process's deterministic random source, created on
+// first use. The seed derivation is fixed (machine seed and rank only),
+// so the stream is byte-identical no matter when — or whether — other
+// ranks draw.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.m.seed*1000003 + int64(p.rank)))
+	}
+	return p.rng
+}
 
 // spend charges d nanoseconds of virtual time with charge coalescing:
 // while the effective clock stays at or below the scheduler's fast-path

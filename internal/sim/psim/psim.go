@@ -115,27 +115,32 @@ type slot struct {
 	next uint64 // next ticket to assign (guarded by Scheduler.mu)
 }
 
-// conEntry is one conservative constraint: no future access from source p
-// can be ordered before key (t, id). Entries are retired lazily — an
-// entry is live iff its ver still matches p.conVer.
+// conEntry is one conservative constraint: no future access from the
+// source rank src can be ordered before key (t, id). Entries are retired
+// lazily — an entry is live iff its ver still matches the source proc's
+// conVer.
 type conEntry struct {
 	t   int64
 	id  int // -1 for wake bounds (an unknown woken process)
-	p   *proc
+	src int32
 	ver uint64
 }
 
 // Scheduler coordinates the access gate for a fixed set of processes.
+// Proc state lives in one contiguous slab indexed by rank id (mirroring
+// the memory-flat core of internal/sim); the request and constraint
+// heaps traffic in int32 rank ids, not pointers. Per-node constraint
+// sharding is deferred (ROADMAP item 2).
 type Scheduler struct {
 	mu        sync.Mutex
-	procs     []*proc
-	req       []*proc    // min-heap on (reqT, id): pending access requests
+	procs     []proc     // flat per-rank slab; never reallocated after New
+	req       []int32    // min-heap of rank ids on (reqT, id): pending access requests
 	cons      []conEntry // min-heap on (t, id): conservative lower bounds
 	slots     []slot
 	live      int
 	runCnt    int // processes in stRun
 	opCnt     int // processes in stInOp
-	arrived   []*proc
+	arrived   []int32
 	syncCost  int64
 	timeLimit int64 // 0 = unlimited
 	tsink     *trace.Sink
@@ -150,15 +155,20 @@ func New(cfg sim.Config) *Scheduler {
 	if cfg.Procs <= 0 {
 		panic(fmt.Sprintf("psim: Procs must be positive, got %d", cfg.Procs))
 	}
+	if cfg.Procs > sim.MaxProcs {
+		panic(fmt.Sprintf("psim: Procs %d exceeds MaxProcs %d", cfg.Procs, sim.MaxProcs))
+	}
 	s := &Scheduler{
-		procs:     make([]*proc, cfg.Procs),
+		procs:     make([]proc, cfg.Procs),
 		slots:     make([]slot, cfg.Procs),
 		live:      cfg.Procs,
 		syncCost:  cfg.BarrierCost,
 		timeLimit: cfg.TimeLimit,
 	}
 	for i := range s.procs {
-		s.procs[i] = &proc{id: i, grant: make(chan struct{}, 1)}
+		p := &s.procs[i]
+		p.id = i
+		p.grant = make(chan struct{}, 1)
 	}
 	for i := range s.slots {
 		s.slots[i].cond = sync.NewCond(&s.slots[i].mu)
@@ -168,8 +178,8 @@ func New(cfg sim.Config) *Scheduler {
 		if cfg.Trace.Has(trace.ClassSched) {
 			s.tsink = cfg.Trace
 		}
-		for i, p := range s.procs {
-			p.tb = cfg.Trace.Buf(i, trace.ClassCharge)
+		for i := range s.procs {
+			s.procs[i].tb = cfg.Trace.Buf(i, trace.ClassCharge)
 		}
 	}
 	return s
@@ -183,7 +193,7 @@ func (s *Scheduler) Release() {}
 // per-goroutine state, so this is safe to call anywhere; it exists for
 // tests that wake one process from another's effect (package rma reaches
 // the wakee through the handle stored in its watcher instead).
-func (s *Scheduler) HandleFor(id int) *Handle { return &Handle{s: s, p: s.procs[id]} }
+func (s *Scheduler) HandleFor(id int) *Handle { return &Handle{s: s, p: &s.procs[id]} }
 
 // Run executes body(handle) once per process, each in its own goroutine,
 // and returns when all processes have exited (or the simulation aborted).
@@ -191,7 +201,8 @@ func (s *Scheduler) HandleFor(id int) *Handle { return &Handle{s: s, p: s.procs[
 // immediately and only synchronize at the access gate.
 func (s *Scheduler) Run(body func(h *Handle)) error {
 	s.mu.Lock()
-	for _, p := range s.procs {
+	for i := range s.procs {
+		p := &s.procs[i]
 		p.state = stRun
 		p.bound = 0
 		p.conVer++
@@ -201,7 +212,7 @@ func (s *Scheduler) Run(body func(h *Handle)) error {
 	s.mu.Unlock()
 	var wg sync.WaitGroup
 	wg.Add(len(s.procs))
-	for _, p := range s.procs {
+	for i := range s.procs {
 		go func(p *proc) {
 			defer wg.Done()
 			defer func() {
@@ -215,7 +226,7 @@ func (s *Scheduler) Run(body func(h *Handle)) error {
 			h := &Handle{s: s, p: p}
 			body(h)
 			h.exit()
-		}(p)
+		}(&s.procs[i])
 	}
 	wg.Wait()
 	return s.err
@@ -233,9 +244,9 @@ func (s *Scheduler) MaxClock() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var max int64
-	for _, p := range s.procs {
-		if p.clock > max {
-			max = p.clock
+	for i := range s.procs {
+		if c := s.procs[i].clock; c > max {
+			max = c
 		}
 	}
 	return max
@@ -390,7 +401,7 @@ func (h *Handle) Barrier() {
 	if s.tsink != nil {
 		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBarrier, p.clock, 0, 0, 0)
 	}
-	s.arrived = append(s.arrived, p)
+	s.arrived = append(s.arrived, int32(p.id))
 	if len(s.arrived) == s.live {
 		s.releaseBarrierLocked()
 	}
@@ -414,13 +425,14 @@ func (h *Handle) WakeAt(clock int64) {
 // releaseBarrierLocked completes the current barrier. Caller holds s.mu.
 func (s *Scheduler) releaseBarrierLocked() {
 	var max int64
-	for _, q := range s.arrived {
-		if q.clock > max {
-			max = q.clock
+	for _, qi := range s.arrived {
+		if c := s.procs[qi].clock; c > max {
+			max = c
 		}
 	}
 	max += s.syncCost
-	for _, q := range s.arrived {
+	for _, qi := range s.arrived {
+		q := &s.procs[qi]
 		q.clock = max
 		q.state = stRun
 		q.bound = max
@@ -462,7 +474,7 @@ func (h *Handle) exit() {
 // nothing in flight, yet live processes remain parked.
 func (s *Scheduler) pumpLocked() {
 	for len(s.req) > 0 {
-		p := s.req[0]
+		p := &s.procs[s.req[0]]
 		if ct, cid, ok := s.minConLocked(); ok && !keyLess(p.reqT, p.id, ct, cid) {
 			break
 		}
@@ -544,8 +556,8 @@ func (s *Scheduler) failLocked(err error) {
 	}
 	s.err = err
 	s.failed.Store(true)
-	for _, p := range s.procs {
-		if p.state != stExited {
+	for i := range s.procs {
+		if p := &s.procs[i]; p.state != stExited {
 			s.sendGrant(p)
 		}
 	}
@@ -579,14 +591,20 @@ func keyLess(at int64, aid int, bt int64, bid int) bool {
 	return aid < bid
 }
 
-// Request heap: min-heap of requesting procs on (reqT, id).
+// Request heap: min-heap of requesting rank ids on (reqT, id).
+
+// reqLess orders two queued rank ids by their request key (reqT, id).
+func (s *Scheduler) reqLess(a, b int32) bool {
+	pa, pb := &s.procs[a], &s.procs[b]
+	return keyLess(pa.reqT, pa.id, pb.reqT, pb.id)
+}
 
 func (s *Scheduler) pushReq(p *proc) {
-	s.req = append(s.req, p)
+	s.req = append(s.req, int32(p.id))
 	i := len(s.req) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !keyLess(s.req[i].reqT, s.req[i].id, s.req[parent].reqT, s.req[parent].id) {
+		if !s.reqLess(s.req[i], s.req[parent]) {
 			break
 		}
 		s.req[i], s.req[parent] = s.req[parent], s.req[i]
@@ -598,16 +616,15 @@ func (s *Scheduler) popReq() *proc {
 	top := s.req[0]
 	n := len(s.req) - 1
 	s.req[0] = s.req[n]
-	s.req[n] = nil
 	s.req = s.req[:n]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && keyLess(s.req[l].reqT, s.req[l].id, s.req[small].reqT, s.req[small].id) {
+		if l < n && s.reqLess(s.req[l], s.req[small]) {
 			small = l
 		}
-		if r < n && keyLess(s.req[r].reqT, s.req[r].id, s.req[small].reqT, s.req[small].id) {
+		if r < n && s.reqLess(s.req[r], s.req[small]) {
 			small = r
 		}
 		if small == i {
@@ -616,14 +633,14 @@ func (s *Scheduler) popReq() *proc {
 		s.req[i], s.req[small] = s.req[small], s.req[i]
 		i = small
 	}
-	return top
+	return &s.procs[top]
 }
 
 // Constraint heap: min-heap of conservative bounds on (t, id), retired
 // lazily by version stamp.
 
 func (s *Scheduler) pushCon(t int64, id int, p *proc) {
-	s.cons = append(s.cons, conEntry{t: t, id: id, p: p, ver: p.conVer})
+	s.cons = append(s.cons, conEntry{t: t, id: id, src: int32(p.id), ver: p.conVer})
 	i := len(s.cons) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -640,7 +657,7 @@ func (s *Scheduler) pushCon(t int64, id int, p *proc) {
 func (s *Scheduler) minConLocked() (t int64, id int, ok bool) {
 	for len(s.cons) > 0 {
 		e := s.cons[0]
-		if e.ver == e.p.conVer {
+		if e.ver == s.procs[e.src].conVer {
 			return e.t, e.id, true
 		}
 		s.popCon()

@@ -20,12 +20,26 @@
 // time limit). As long as an Advance stays at or below the horizon it is a
 // lock-free, heap-free, channel-free clock increment: two compares and an
 // add, zero allocations. Only a genuine handoff (crossing the horizon)
-// takes the mutex and touches the specialized min-heap. The horizon is
+// takes the mutex and touches the sharded min-heap. The horizon is
 // only ever written by the dispatching goroutine before the wake-channel
 // send (or by the holder itself via Wake), so the fast path needs no
 // atomics. The refsim subpackage preserves the original global-mutex
 // scheduler; the differential determinism suite in internal/workload
 // checks both engines produce byte-identical results.
+//
+// # Memory-flat proc state
+//
+// Per-process state is struct-of-arrays, indexed by rank id: clocks,
+// horizons and scheduling flags live in flat slices, the pending-process
+// queue (see shardHeap) traffics in int32 rank ids, and a Handle caches
+// pointers into the clock/horizon slices so the fast path stays a plain
+// increment. Process goroutines are spawned lazily, driven by dispatch: a
+// rank that has never run is represented implicitly by its (0, id) key —
+// the virtual start entries [nextStart, Procs) — and its goroutine starts
+// already holding the token. Wake channels are likewise allocated only
+// when a rank first parks. A 10^6-rank machine whose ranks run one after
+// another therefore pays for goroutine stacks and channels only as ranks
+// genuinely interleave, and the flat state costs ~61 bytes per rank.
 //
 // The package knows nothing about RMA; package rma layers windows, latency
 // and contention modeling on top of it.
@@ -50,22 +64,36 @@ var ErrTimeLimit = errors.New("sim: virtual time limit exceeded")
 // live process is blocked in a barrier that can never complete.
 var ErrDeadlock = errors.New("sim: deadlock: all live processes blocked in barrier")
 
+// MaxProcs is the largest supported process count: rank ids are int32
+// throughout the scheduler core (heap entries, shard indices, handles).
+const MaxProcs = math.MaxInt32
+
 // abortSignal is panicked inside process goroutines when the simulation is
 // torn down early; the Run wrapper recovers it.
 type abortSignal struct{}
 
-type proc struct {
-	id    int
-	clock int64
-	// horizon is the fast-path bound: the largest clock this process can
-	// reach while provably keeping the execution token (see the package
-	// comment). Valid only while the process holds the token; written by
-	// the dispatching goroutine before the wake send.
-	horizon int64
-	wake    chan struct{}
-	inHeap  bool
-	blocked bool // waiting in a barrier or Block
-	exited  bool
+// Per-rank scheduling flags (the state slice of the SoA layout).
+const (
+	stInHeap uint8 = 1 << iota
+	stBlocked
+	stExited
+	stStarted
+)
+
+// Handle is a per-process handle passed to the process body. Its methods
+// must only be called from that process's goroutine (except Wake/WakeAt,
+// which the current token holder calls on a blocked process's handle).
+// Handles live in one flat slice owned by the scheduler; clock and
+// horizon cache pointers into the scheduler's SoA state so the Advance
+// fast path needs no bounds checks or extra indirection.
+type Handle struct {
+	s  *Scheduler
+	id int32
+	// hs points at s.hot[id]: the process's virtual clock and its
+	// fast-path horizon, packed in one 16-byte pair so the Advance fast
+	// path touches a single cache line (same load count as a pointer to
+	// a per-proc struct, without the per-proc allocation).
+	hs *hotState
 	// tb is the proc's ClassCharge trace buffer; nil unless charge
 	// tracing is enabled. Only the slow (already-locked) paths emit
 	// through it: the lock-free Advance fast path stays byte-for-byte
@@ -76,19 +104,11 @@ type proc struct {
 	tb *trace.Buf
 }
 
-// Handle is a per-process handle passed to the process body. Its methods
-// must only be called from that process's goroutine (except Wake/WakeAt,
-// which the current token holder calls on a blocked process's handle).
-type Handle struct {
-	s *Scheduler
-	p *proc
-}
-
 // ID returns the process id (the simulated rank).
-func (h *Handle) ID() int { return h.p.id }
+func (h *Handle) ID() int { return int(h.id) }
 
 // Clock returns the process's current virtual time in nanoseconds.
-func (h *Handle) Clock() int64 { return h.p.clock }
+func (h *Handle) Clock() int64 { return h.hs.clock }
 
 // Horizon returns the largest virtual clock the calling process can
 // advance to while provably keeping the execution token: any Advance that
@@ -96,25 +116,48 @@ func (h *Handle) Clock() int64 { return h.p.clock }
 // Callers (package rma) use it to coalesce consecutive charges into one
 // Advance without changing the interleaving. Valid only while the calling
 // process holds the token; a Wake may shrink it.
-func (h *Handle) Horizon() int64 { return h.p.horizon }
+func (h *Handle) Horizon() int64 { return h.hs.horizon }
 
 // Scheduler coordinates the virtual clocks of a fixed set of processes.
+// All per-rank state is struct-of-arrays, indexed by rank id.
 type Scheduler struct {
-	mu        sync.Mutex
-	procs     []*proc
-	heap      procHeap
-	running   *proc // current token holder (horizon cache owner)
+	mu sync.Mutex
+	n  int32
+	// SoA per-rank state. hot packs each rank's (clock, horizon) pair —
+	// the only fields the Advance fast path and the heap order touch —
+	// in one flat slice; scheduling flags live beside it in state.
+	hot   []hotState
+	state []uint8
+	// wakes holds the per-rank wake channels, allocated lazily the first
+	// time a rank parks (ranks that never lose the token never allocate
+	// one). A send hands the execution token to the receiver.
+	wakes   []chan struct{}
+	handles []Handle
+	heap    shardHeap
+	// running is the current token holder (horizon cache owner); -1
+	// before the first dispatch.
+	running int32
+	// nextStart is the first rank whose goroutine has not been spawned
+	// yet: ranks [nextStart, n) are implicitly pending at (clock 0, id),
+	// merged with the real heap by topKeyLocked. Dispatching one spawns
+	// its goroutine, which starts running with the token (no initial
+	// park), so goroutines and wake channels materialize only as the
+	// simulation genuinely interleaves.
+	nextStart int32
 	live      int
-	arrived   []*proc     // processes blocked in the current barrier
+	arrived   []int32     // processes blocked in the current barrier
 	syncCost  int64       // virtual cost charged by a barrier
 	timeLimit int64       // 0 = unlimited
 	tsink     *trace.Sink // non-nil only when ClassSched tracing is on
+	body      func(h *Handle)
+	wg        sync.WaitGroup
+	core      *schedCore
 	err       error
 }
 
 // Config holds scheduler construction parameters.
 type Config struct {
-	// Procs is the number of simulated processes.
+	// Procs is the number of simulated processes (at most MaxProcs).
 	Procs int
 	// TimeLimit aborts the run with ErrTimeLimit once any process's
 	// virtual clock exceeds it. Zero means no limit.
@@ -122,6 +165,13 @@ type Config struct {
 	// BarrierCost is the virtual time charged to every process by a
 	// barrier, on top of synchronizing clocks to the maximum.
 	BarrierCost int64
+	// ShardSize splits the pending-process heap into ceil(Procs/ShardSize)
+	// contiguous rank-range shards (package rma passes the topology's
+	// procs-per-leaf so shards mirror compute nodes). Zero or out-of-range
+	// values select a single shard. Sharding is transparent: (clock, id)
+	// keys are unique, so the dispatch order is identical for every
+	// ShardSize (property-tested).
+	ShardSize int
 	// Trace, when non-nil, receives scheduler events (ClassSched:
 	// dispatch/block/wake/barrier) and slow-path clock publications
 	// (ClassCharge). The sink is restarted for this run. The lock-free
@@ -130,118 +180,180 @@ type Config struct {
 	Trace *trace.Sink
 }
 
-// corePool recycles proc sets — the proc structs, their wake channels and
-// the heap/arrived backing arrays — across scheduler instances, so hot
-// sweep loops that build one machine per cell stop re-allocating them.
-// Release returns a scheduler's core to the pool.
+// corePool recycles scheduler cores — the SoA state slices, the wake
+// channels already allocated by earlier runs, and the heap/arrived
+// backing arrays — across scheduler instances, so hot sweep loops that
+// build one machine per cell stop re-allocating them. Release returns a
+// scheduler's core to the pool.
 var corePool sync.Pool
 
 type schedCore struct {
-	procs   []*proc
-	heap    []*proc
-	arrived []*proc
+	hot     []hotState
+	state   []uint8
+	wakes   []chan struct{}
+	handles []Handle
+	arrived []int32
+	shards  [][]int32
+	top     []int32
+	topPos  []int32
 }
 
-// New creates a scheduler for cfg.Procs processes, drawing the proc set
-// from the package free list when one is available.
+// New creates a scheduler for cfg.Procs processes, drawing the core from
+// the package free list when one is available.
 func New(cfg Config) *Scheduler {
 	if cfg.Procs <= 0 {
 		panic(fmt.Sprintf("sim: Procs must be positive, got %d", cfg.Procs))
 	}
+	if cfg.Procs > MaxProcs {
+		panic(fmt.Sprintf("sim: Procs %d exceeds MaxProcs %d (rank ids are int32)", cfg.Procs, MaxProcs))
+	}
+	n := cfg.Procs
 	s := &Scheduler{
-		live:      cfg.Procs,
+		n:         int32(n),
+		live:      n,
 		syncCost:  cfg.BarrierCost,
 		timeLimit: cfg.TimeLimit,
+		running:   -1,
 	}
-	if v := corePool.Get(); v != nil {
-		core := v.(*schedCore)
-		s.procs = resizeProcs(core.procs, cfg.Procs)
-		s.heap.a = core.heap[:0]
-		s.arrived = core.arrived[:0]
-	} else {
-		s.procs = resizeProcs(nil, cfg.Procs)
+	core, _ := corePool.Get().(*schedCore)
+	if core == nil {
+		core = &schedCore{}
 	}
+	s.core = core
+	s.hot = resizeHot(core.hot, n)
+	s.state = resizeState(core.state, n)
+	s.wakes = resizeWakes(core.wakes, n)
+	s.handles = resizeHandles(core.handles, n)
+	s.arrived = core.arrived[:0]
+	var tsink *trace.Sink
 	if cfg.Trace != nil {
-		cfg.Trace.Start(cfg.Procs)
+		cfg.Trace.Start(n)
 		if cfg.Trace.Has(trace.ClassSched) {
 			s.tsink = cfg.Trace
 		}
-		for i, p := range s.procs {
-			p.tb = cfg.Trace.Buf(i, trace.ClassCharge)
+		tsink = cfg.Trace
+	}
+	for i := range s.handles {
+		h := &s.handles[i]
+		h.s = s
+		h.id = int32(i)
+		h.hs = &s.hot[i]
+		h.tb = nil // pooled handles may carry a previous run's trace buffer
+		if tsink != nil {
+			h.tb = tsink.Buf(i, trace.ClassCharge)
 		}
 	}
+	s.heap.init(s.hot, n, cfg.ShardSize, core)
 	return s
 }
 
-// resizeProcs returns ps grown or truncated to n entries, resetting every
-// reused proc (and draining any stale teardown token from its wake
-// channel) and allocating the missing ones.
-func resizeProcs(ps []*proc, n int) []*proc {
-	if cap(ps) >= n {
-		ps = ps[:n]
-	} else {
-		ps = append(ps[:cap(ps)], make([]*proc, n-cap(ps))...)
-	}
-	for i, p := range ps {
-		if p == nil {
-			ps[i] = &proc{id: i, wake: make(chan struct{}, 1)}
-			continue
-		}
-		select {
-		case <-p.wake:
-		default:
-		}
-		p.id = i
-		p.clock, p.horizon = 0, 0
-		p.inHeap, p.blocked, p.exited = false, false, false
-		p.tb = nil // pooled procs may carry a previous run's trace buffer
-	}
-	return ps
+// hotState is one rank's fast-path pair: its virtual clock and the
+// cached horizon (see the package comment).
+type hotState struct {
+	clock   int64
+	horizon int64
 }
 
-// Release resets the scheduler and returns its proc set to the package
-// free list. Only call it after Run has returned (and after any MaxClock
+// resizeHot returns a zeroed slice with room for n entries, reusing its
+// backing array when large enough.
+func resizeHot(a []hotState, n int) []hotState {
+	if cap(a) >= n {
+		a = a[:n]
+		clear(a)
+	} else {
+		a = make([]hotState, n)
+	}
+	return a
+}
+
+func resizeState(a []uint8, n int) []uint8 {
+	if cap(a) >= n {
+		a = a[:n]
+		clear(a)
+	} else {
+		a = make([]uint8, n)
+	}
+	return a
+}
+
+// resizeWakes keeps channels allocated by earlier runs (they are the
+// expensive part of the core) but drains any stale teardown token: a
+// failed run sends on every channel, and a pooled channel must not wake
+// its next owner spuriously. The full capacity region is drained, not
+// just [:n] — a shrink followed by a regrow would otherwise resurface a
+// stale token.
+func resizeWakes(ws []chan struct{}, n int) []chan struct{} {
+	full := ws[:cap(ws)]
+	for _, ch := range full {
+		if ch != nil {
+			select {
+			case <-ch:
+			default:
+			}
+		}
+	}
+	if cap(ws) >= n {
+		return ws[:n]
+	}
+	return append(full, make([]chan struct{}, n-cap(ws))...)
+}
+
+func resizeHandles(hs []Handle, n int) []Handle {
+	if cap(hs) >= n {
+		return hs[:n]
+	}
+	return make([]Handle, n)
+}
+
+// Release resets the scheduler and returns its core to the package free
+// list. Only call it after Run has returned (and after any MaxClock
 // inspection); the scheduler must not be used afterwards.
 func (s *Scheduler) Release() {
-	core := &schedCore{procs: s.procs, heap: s.heap.a, arrived: s.arrived}
-	s.procs, s.heap.a, s.arrived, s.running = nil, nil, nil, nil
+	core := s.core
+	if core == nil {
+		return
+	}
+	core.hot, core.state = s.hot, s.state
+	core.wakes, core.handles, core.arrived = s.wakes, s.handles, s.arrived
+	core.shards, core.top, core.topPos = s.heap.shards, s.heap.top, s.heap.topPos
+	s.hot, s.state, s.wakes, s.handles, s.arrived = nil, nil, nil, nil, nil
+	s.heap = shardHeap{}
+	s.core = nil
+	s.running = -1
 	corePool.Put(core)
 }
 
 // Run executes body(handle) once per process, each in its own goroutine,
 // and returns when all processes have exited (or the simulation aborted).
-// A panic inside a body aborts the whole simulation and is returned as an
-// error. Run may only be called once per Scheduler.
+// Goroutines are spawned lazily in dispatch order — a rank's goroutine
+// starts when its (0, id) key first becomes the minimum, already holding
+// the token. A panic inside a body aborts the whole simulation and is
+// returned as an error. Run may only be called once per Scheduler.
 func (s *Scheduler) Run(body func(h *Handle)) error {
-	var wg sync.WaitGroup
-	wg.Add(len(s.procs))
-	for _, p := range s.procs {
-		go func(p *proc) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(abortSignal); ok {
-						return // torn down by scheduler
-					}
-					s.fail(fmt.Errorf("sim: process %d panicked: %v\n%s", p.id, r, debug.Stack()))
-				}
-			}()
-			h := &Handle{s: s, p: p}
-			h.park() // wait for the initial token
-			body(h)
-			h.exit()
-		}(p)
-	}
-	// All processes start parked in the heap with clock 0; give the token
-	// to the minimum (process 0).
+	s.body = body
 	s.mu.Lock()
-	for _, p := range s.procs {
-		s.push(p)
-	}
-	s.sendWake(s.dispatchLocked())
+	s.resumeLocked(s.dispatchLocked()) // rank 0: the (0, 0) minimum
 	s.mu.Unlock()
-	wg.Wait()
+	s.wg.Wait()
 	return s.err
+}
+
+// runProc is the goroutine of one simulated process, spawned by the
+// dispatch that first selects the rank. It runs body immediately: the
+// spawn IS the wake, so a fresh rank needs no channel round trip.
+func (s *Scheduler) runProc(id int32) {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				return // torn down by scheduler
+			}
+			s.fail(fmt.Errorf("sim: process %d panicked: %v\n%s", id, r, debug.Stack()))
+		}
+	}()
+	h := &s.handles[id]
+	s.body(h)
+	h.exit()
 }
 
 // Err returns the error recorded by the simulation, if any.
@@ -257,9 +369,9 @@ func (s *Scheduler) MaxClock() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var max int64
-	for _, p := range s.procs {
-		if p.clock > max {
-			max = p.clock
+	for i := range s.hot {
+		if c := s.hot[i].clock; c > max {
+			max = c
 		}
 	}
 	return max
@@ -277,7 +389,7 @@ func (h *Handle) Advance(d int64) {
 	if d < 1 {
 		d = 1
 	}
-	p := h.p
+	p := h.hs
 	if c := p.clock + d; c <= p.horizon {
 		p.clock = c
 		return
@@ -290,70 +402,74 @@ func (h *Handle) Advance(d int64) {
 // only the time-limit clamp forced us off the fast path).
 func (h *Handle) advanceSlow(d int64) {
 	s := h.s
-	p := h.p
 	s.mu.Lock()
 	if s.err != nil {
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	p.clock += d
-	if s.timeLimit > 0 && p.clock > s.timeLimit {
-		s.failLocked(fmt.Errorf("%w (process %d at %d ns)", ErrTimeLimit, p.id, p.clock))
+	c := h.hs.clock + d
+	h.hs.clock = c
+	if s.timeLimit > 0 && c > s.timeLimit {
+		s.failLocked(fmt.Errorf("%w (process %d at %d ns)", ErrTimeLimit, h.id, c))
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	if p.tb != nil {
-		p.tb.Emit(trace.EvAdvance, p.clock, d, 0, 0)
+	if h.tb != nil {
+		h.tb.Emit(trace.EvAdvance, c, d, 0, 0)
 	}
-	s.push(p)
+	s.push(h.id)
 	next := s.dispatchLocked()
-	if next == p {
+	if next == h.id {
 		s.mu.Unlock()
 		return
 	}
-	s.sendWake(next)
+	ch := s.wakeChanLocked(h.id)
+	s.resumeLocked(next)
 	s.mu.Unlock()
-	h.park()
+	h.park(ch)
 }
 
 // Barrier blocks until every live process has called Barrier, then sets all
 // clocks to the maximum arrival time plus the configured barrier cost.
 func (h *Handle) Barrier() {
 	s := h.s
-	p := h.p
+	id := h.id
 	s.mu.Lock()
 	if s.err != nil {
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	p.blocked = true
+	s.state[id] |= stBlocked
 	if s.tsink != nil {
-		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBarrier, p.clock, 0, 0, 0)
+		s.tsink.Buf(int(id), trace.ClassSched).Emit(trace.EvBarrier, h.hs.clock, 0, 0, 0)
 	}
-	s.arrived = append(s.arrived, p)
+	s.arrived = append(s.arrived, id)
 	if len(s.arrived) == s.live {
 		// Last arriver releases everyone.
 		s.releaseBarrierLocked()
 		next := s.dispatchLocked()
-		if next == p {
+		if next == id {
 			s.mu.Unlock()
 			return
 		}
-		s.sendWake(next)
+		ch := s.wakeChanLocked(id)
+		s.resumeLocked(next)
 		s.mu.Unlock()
-		h.park()
+		h.park(ch)
 		return
 	}
-	// Hand the token over; non-arrived live processes are all in the heap.
-	if len(s.heap.a) == 0 {
+	// Hand the token over; non-arrived live processes are in the heap or
+	// not yet started.
+	if !s.hasRunnableLocked() {
 		s.failLocked(ErrDeadlock)
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
 	next := s.dispatchLocked()
-	s.sendWake(next)
+	ch := s.wakeChanLocked(id)
+	s.resumeLocked(next)
 	s.mu.Unlock()
-	h.park()
+	h.park(ch)
 }
 
 // Block removes the calling process from scheduling until another process
@@ -363,25 +479,26 @@ func (h *Handle) Barrier() {
 // process remains the simulation aborts with ErrDeadlock.
 func (h *Handle) Block() {
 	s := h.s
-	p := h.p
+	id := h.id
 	s.mu.Lock()
 	if s.err != nil {
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	p.blocked = true
+	s.state[id] |= stBlocked
 	if s.tsink != nil {
-		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBlock, p.clock, 0, 0, 0)
+		s.tsink.Buf(int(id), trace.ClassSched).Emit(trace.EvBlock, h.hs.clock, 0, 0, 0)
 	}
-	if len(s.heap.a) == 0 {
+	if !s.hasRunnableLocked() {
 		s.failLocked(ErrDeadlock)
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
 	next := s.dispatchLocked()
-	s.sendWake(next)
+	ch := s.wakeChanLocked(id)
+	s.resumeLocked(next)
 	s.mu.Unlock()
-	h.park()
+	h.park(ch)
 }
 
 // releaseBarrierLocked completes the current barrier: every arrived
@@ -392,14 +509,14 @@ func (h *Handle) Block() {
 func (s *Scheduler) releaseBarrierLocked() {
 	var max int64
 	for _, q := range s.arrived {
-		if q.clock > max {
-			max = q.clock
+		if c := s.hot[q].clock; c > max {
+			max = c
 		}
 	}
 	max += s.syncCost
 	for _, q := range s.arrived {
-		q.clock = max
-		q.blocked = false
+		s.hot[q].clock = max
+		s.state[q] &^= stBlocked
 		s.push(q)
 	}
 	s.arrived = s.arrived[:0]
@@ -412,7 +529,7 @@ func (s *Scheduler) releaseBarrierLocked() {
 // horizon is re-derived.
 func (h *Handle) WakeAt(clock int64) {
 	s := h.s
-	q := h.p
+	q := h.id
 	s.mu.Lock()
 	if s.err != nil {
 		// The simulation is tearing down: the target may already be
@@ -421,28 +538,29 @@ func (h *Handle) WakeAt(clock int64) {
 		s.mu.Unlock()
 		panic(abortSignal{})
 	}
-	if q.exited {
+	st := s.state[q]
+	if st&stExited != 0 {
 		s.mu.Unlock()
-		panic(fmt.Sprintf("sim: Wake of exited process %d (its body already returned)", q.id))
+		panic(fmt.Sprintf("sim: Wake of exited process %d (its body already returned)", q))
 	}
-	if !q.blocked {
+	if st&stBlocked == 0 {
 		s.mu.Unlock()
-		panic(fmt.Sprintf("sim: Wake of non-blocked process %d", q.id))
+		panic(fmt.Sprintf("sim: Wake of non-blocked process %d", q))
 	}
-	q.blocked = false
-	if clock > q.clock {
-		q.clock = clock
+	s.state[q] = st &^ stBlocked
+	if clock > s.hot[q].clock {
+		s.hot[q].clock = clock
 	}
 	if s.tsink != nil {
 		waker := int64(-1)
-		if s.running != nil {
-			waker = int64(s.running.id)
+		if s.running >= 0 {
+			waker = int64(s.running)
 		}
-		s.tsink.Buf(q.id, trace.ClassSched).Emit(trace.EvWake, q.clock, waker, 0, 0)
+		s.tsink.Buf(int(q), trace.ClassSched).Emit(trace.EvWake, s.hot[q].clock, waker, 0, 0)
 	}
 	s.push(q)
-	if r := s.running; r != nil {
-		r.horizon = s.horizonForLocked(r)
+	if r := s.running; r >= 0 {
+		s.hot[r].horizon = s.horizonForLocked(r)
 	}
 	s.mu.Unlock()
 }
@@ -452,9 +570,12 @@ func (h *Handle) WakeAt(clock int64) {
 // process; the caller keeps the execution token.
 func (h *Handle) Wake(q *Handle, clock int64) { q.WakeAt(clock) }
 
-// park blocks the calling process until it is woken with the token.
-func (h *Handle) park() {
-	<-h.p.wake
+// park blocks the calling process until it is woken with the token. ch is
+// the caller's wake channel, resolved under the mutex by the slow path
+// that decided to park (wakeChanLocked), so no wake can be sent before
+// the channel exists.
+func (h *Handle) park(ch chan struct{}) {
+	<-ch
 	h.s.mu.Lock()
 	err := h.s.err
 	h.s.mu.Unlock()
@@ -466,13 +587,13 @@ func (h *Handle) park() {
 // exit removes the process from the simulation and hands the token on.
 func (h *Handle) exit() {
 	s := h.s
-	p := h.p
+	id := h.id
 	s.mu.Lock()
 	if s.err != nil {
 		s.mu.Unlock()
 		return
 	}
-	p.exited = true
+	s.state[id] |= stExited
 	s.live--
 	if s.live == 0 {
 		s.mu.Unlock()
@@ -484,13 +605,12 @@ func (h *Handle) exit() {
 	if len(s.arrived) == s.live {
 		s.releaseBarrierLocked()
 	}
-	if len(s.heap.a) == 0 {
+	if !s.hasRunnableLocked() {
 		s.failLocked(ErrDeadlock)
 		s.mu.Unlock()
 		return
 	}
-	next := s.dispatchLocked()
-	s.sendWake(next)
+	s.resumeLocked(s.dispatchLocked())
 	s.mu.Unlock()
 }
 
@@ -503,53 +623,101 @@ func (s *Scheduler) fail(err error) {
 }
 
 // failLocked must be called with s.mu held (every failure site already
-// holds it, which is why no sync.Once is needed: first error wins).
+// holds it, which is why no sync.Once is needed: first error wins). Only
+// ranks that ever parked own a wake channel; the others are either
+// running (the failing goroutine itself), already exited, or never
+// spawned — none of them is blocked on a receive.
 func (s *Scheduler) failLocked(err error) {
 	if s.err == nil {
 		s.err = err
 	}
-	for _, p := range s.procs {
-		if !p.exited {
-			select {
-			case p.wake <- struct{}{}:
-			default:
-			}
+	for i, ch := range s.wakes {
+		if ch == nil || s.state[i]&stExited != 0 {
+			continue
+		}
+		select {
+		case ch <- struct{}{}:
+		default:
 		}
 	}
 }
 
-// dispatchLocked pops the new minimum, records it as the token holder and
-// caches its fast-path horizon. Caller must hold s.mu and send the wake
-// (unless the minimum is the caller itself). A genuine handoff (the token
-// changing hands) emits an EvDispatch event into the new holder's stream;
-// writes to a parked proc's trace buffer happen-before the wake send, so
-// capture stays race-free.
-func (s *Scheduler) dispatchLocked() *proc {
-	next := s.popMin()
-	next.horizon = s.horizonForLocked(next)
+// hasRunnableLocked reports whether any process is pending dispatch:
+// queued in the heap or not yet started. Caller must hold s.mu.
+func (s *Scheduler) hasRunnableLocked() bool {
+	return s.heap.size > 0 || s.nextStart < s.n
+}
+
+// topKeyLocked returns the minimum pending (clock, id) across the real
+// heap and the virtual start entries: rank nextStart, pending at clock 0,
+// stands for every not-yet-started rank (they all share clock 0, so the
+// smallest id is the only candidate). Caller must hold s.mu.
+func (s *Scheduler) topKeyLocked() (clock int64, id int32, ok bool) {
+	c, top, hok := s.heap.peek()
+	if s.nextStart < s.n {
+		// Queued ranks are always started, so top != nextStart; the
+		// virtual entry wins exactly when (0, nextStart) < (c, top).
+		if !hok || c > 0 || (c == 0 && s.nextStart < top) {
+			return 0, s.nextStart, true
+		}
+	}
+	return c, top, hok
+}
+
+// dispatchLocked removes the new minimum from the pending set (real heap
+// or virtual start entries), records it as the token holder and caches
+// its fast-path horizon. Caller must hold s.mu and resume it via
+// resumeLocked (unless the minimum is the caller itself). A genuine
+// handoff (the token changing hands) emits an EvDispatch event into the
+// new holder's stream; writes to a parked proc's trace buffer
+// happen-before the wake send (or the spawning go statement), so capture
+// stays race-free.
+func (s *Scheduler) dispatchLocked() int32 {
+	var next int32
+	c, top, hok := s.heap.peek()
+	if s.nextStart < s.n && (!hok || c > 0 || (c == 0 && s.nextStart < top)) {
+		next = s.nextStart
+		s.nextStart++
+	} else {
+		next = s.popMin()
+	}
+	s.hot[next].horizon = s.horizonForLocked(next)
 	if s.tsink != nil && next != s.running {
 		prev := int64(-1)
-		if s.running != nil {
-			prev = int64(s.running.id)
+		if s.running >= 0 {
+			prev = int64(s.running)
 		}
-		s.tsink.Buf(next.id, trace.ClassSched).Emit(trace.EvDispatch, next.clock, prev, 0, 0)
+		s.tsink.Buf(int(next), trace.ClassSched).Emit(trace.EvDispatch, s.hot[next].clock, prev, 0, 0)
 	}
 	s.running = next
 	return next
 }
 
-// horizonForLocked derives p's fast-path horizon from the current heap
-// top: p keeps the token while (clock, id) stays lexicographically at or
-// below the top's, so it may reach the top clock exactly when its id wins
-// the tie-break. The time limit is folded in so the fast path detects
-// limit crossings with the same single compare. Caller must hold s.mu;
-// p must not be in the heap.
-func (s *Scheduler) horizonForLocked(p *proc) int64 {
+// resumeLocked transfers control to the dispatched rank: the first
+// dispatch of a rank spawns its goroutine (which starts running the body
+// immediately — the spawn is the wake), later ones send the token on its
+// wake channel. Caller must hold s.mu.
+func (s *Scheduler) resumeLocked(next int32) {
+	if s.state[next]&stStarted == 0 {
+		s.state[next] |= stStarted
+		s.wg.Add(1)
+		go s.runProc(next)
+		return
+	}
+	s.sendWake(next)
+}
+
+// horizonForLocked derives rank id's fast-path horizon from the pending
+// minimum: id keeps the token while (clock, id) stays lexicographically
+// at or below the top's, so it may reach the top clock exactly when its
+// id wins the tie-break. The time limit is folded in so the fast path
+// detects limit crossings with the same single compare. Caller must hold
+// s.mu; id must not be pending.
+func (s *Scheduler) horizonForLocked(id int32) int64 {
 	hz := int64(math.MaxInt64)
-	if len(s.heap.a) > 0 {
-		top := s.heap.a[0]
-		hz = top.clock
-		if p.id > top.id {
+	if c, top, ok := s.topKeyLocked(); ok {
+		hz = c
+		if id > top {
 			hz--
 		}
 	}
@@ -559,83 +727,37 @@ func (s *Scheduler) horizonForLocked(p *proc) int64 {
 	return hz
 }
 
-func (s *Scheduler) sendWake(p *proc) {
+// wakeChanLocked returns rank id's wake channel, allocating it on first
+// park. Caller must hold s.mu; because every wake send also happens under
+// s.mu, a channel resolved here is visible to all future wakers before
+// the caller can park on it.
+func (s *Scheduler) wakeChanLocked(id int32) chan struct{} {
+	ch := s.wakes[id]
+	if ch == nil {
+		ch = make(chan struct{}, 1)
+		s.wakes[id] = ch
+	}
+	return ch
+}
+
+func (s *Scheduler) sendWake(id int32) {
 	select {
-	case p.wake <- struct{}{}:
+	case s.wakes[id] <- struct{}{}:
 	default:
 		// Already has a pending wake (only possible during teardown).
 	}
 }
 
-// procHeap is a specialized binary min-heap on (clock, id). It replaces
-// container/heap on the scheduler hot path: direct *proc storage, no
-// interface boxing, inlinable sift loops.
-type procHeap struct {
-	a []*proc
+func (s *Scheduler) push(id int32) {
+	if s.state[id]&stInHeap != 0 {
+		panic(fmt.Sprintf("sim: process %d pushed twice", id))
+	}
+	s.state[id] |= stInHeap
+	s.heap.push(id)
 }
 
-func (h *procHeap) push(p *proc) {
-	a := append(h.a, p)
-	h.a = a
-	i := len(a) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		q := a[parent]
-		if p.clock > q.clock || (p.clock == q.clock && p.id > q.id) {
-			break
-		}
-		a[i] = q
-		i = parent
-	}
-	a[i] = p
-}
-
-func (h *procHeap) pop() *proc {
-	a := h.a
-	top := a[0]
-	n := len(a) - 1
-	last := a[n]
-	a[n] = nil
-	a = a[:n]
-	h.a = a
-	if n == 0 {
-		return top
-	}
-	// Sift the former last element down from the root.
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		min := l
-		if r := l + 1; r < n {
-			lp, rp := a[l], a[r]
-			if rp.clock < lp.clock || (rp.clock == lp.clock && rp.id < lp.id) {
-				min = r
-			}
-		}
-		m := a[min]
-		if last.clock < m.clock || (last.clock == m.clock && last.id < m.id) {
-			break
-		}
-		a[i] = m
-		i = min
-	}
-	a[i] = last
-	return top
-}
-
-func (s *Scheduler) push(p *proc) {
-	if p.inHeap {
-		panic(fmt.Sprintf("sim: process %d pushed twice", p.id))
-	}
-	p.inHeap = true
-	s.heap.push(p)
-}
-
-func (s *Scheduler) popMin() *proc {
-	p := s.heap.pop()
-	p.inHeap = false
-	return p
+func (s *Scheduler) popMin() int32 {
+	id := s.heap.pop()
+	s.state[id] &^= stInHeap
+	return id
 }

@@ -219,9 +219,8 @@ func TestWakeDuringTeardownAborts(t *testing.T) {
 	// blocked flag went stale while its goroutine unwinds.
 	s := New(Config{Procs: 2})
 	s.err = errors.New("teardown in progress")
-	h0 := &Handle{s: s, p: s.procs[0]}
-	h1 := &Handle{s: s, p: s.procs[1]}
-	h1.p.blocked = false // target already released/unwinding
+	h0 := &s.handles[0]
+	h1 := &s.handles[1] // target not blocked: already released/unwinding
 	defer func() {
 		if _, ok := recover().(abortSignal); !ok {
 			t.Fatalf("Wake under a recorded error must panic abortSignal")
@@ -260,9 +259,9 @@ func TestWakeExitedPanicsDistinctly(t *testing.T) {
 	// report the misleading "Wake of non-blocked process"; exited must be
 	// distinguished from merely non-blocked.
 	s := New(Config{Procs: 2})
-	s.procs[1].exited = true
-	h0 := &Handle{s: s, p: s.procs[0]}
-	h1 := &Handle{s: s, p: s.procs[1]}
+	s.state[1] |= stExited
+	h0 := &s.handles[0]
+	h1 := &s.handles[1]
 	defer func() {
 		r := recover()
 		msg, ok := r.(string)
@@ -278,8 +277,8 @@ func TestWakeExitedPanicsDistinctly(t *testing.T) {
 
 func TestWakeNonBlockedStillPanics(t *testing.T) {
 	s := New(Config{Procs: 2})
-	h0 := &Handle{s: s, p: s.procs[0]}
-	h1 := &Handle{s: s, p: s.procs[1]}
+	h0 := &s.handles[0]
+	h1 := &s.handles[1]
 	defer func() {
 		msg, ok := recover().(string)
 		if !ok || !strings.Contains(msg, "non-blocked") {

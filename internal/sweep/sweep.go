@@ -229,6 +229,10 @@ type Grid struct {
 	// "fast" = token-owned fast path, "ref" = reference engine); the
 	// workbench -engine flag exposes it for ad-hoc differential sweeps.
 	Engine string
+	// MemStats enables host memory reporting per cell (see
+	// workload.Spec.MemStats): heap/sys bytes per rank land in
+	// Report.Extra. Host-dependent — forfeits byte-identical baselines.
+	MemStats bool
 	// Trace, when nonzero, attaches a fresh trace sink with this class
 	// mask to every cell (cells run in parallel, so sinks are per-cell),
 	// filling the per-cell Report.Fairness / Report.HandoffLocality
@@ -392,6 +396,7 @@ func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables) 
 				Params:       g.Params,
 				Tunables:     tun.Clone(),
 				Engine:       g.Engine,
+				MemStats:     g.MemStats,
 			}
 			if g.Trace != 0 {
 				spec.Trace = trace.New(g.Trace)

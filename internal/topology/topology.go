@@ -18,8 +18,24 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
+
+// RankOverflowError reports a machine whose total rank count would
+// overflow the int32 rank ids used throughout the scheduler core
+// (internal/sim trafficks in int32 ids; see sim.MaxProcs).
+type RankOverflowError struct {
+	// Leaves is the number of leaf elements, ProcsPerLeaf the processes
+	// on each; their product is the offending rank count.
+	Leaves       int
+	ProcsPerLeaf int
+}
+
+func (e *RankOverflowError) Error() string {
+	return fmt.Sprintf("topology: %d leaves x %d procs/leaf = %d ranks overflows int32 rank ids (max %d)",
+		e.Leaves, e.ProcsPerLeaf, int64(e.Leaves)*int64(e.ProcsPerLeaf), math.MaxInt32)
+}
 
 // Topology describes a machine with N levels. Elements at level i+1 are
 // distributed evenly among elements at level i, and processes are assigned
@@ -55,6 +71,13 @@ func New(elementsPerLevel []int, procsPerLeaf int) (*Topology, error) {
 	}
 	if procsPerLeaf <= 0 {
 		return nil, fmt.Errorf("topology: procsPerLeaf must be positive, got %d", procsPerLeaf)
+	}
+	leaves := elementsPerLevel[len(elementsPerLevel)-1]
+	// Guard each factor before the product so the int64 multiply below
+	// cannot itself wrap on adversarial inputs.
+	if leaves > math.MaxInt32 || procsPerLeaf > math.MaxInt32 ||
+		int64(leaves)*int64(procsPerLeaf) > math.MaxInt32 {
+		return nil, &RankOverflowError{Leaves: leaves, ProcsPerLeaf: procsPerLeaf}
 	}
 	counts := make([]int, len(elementsPerLevel))
 	copy(counts, elementsPerLevel)

@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -30,6 +32,44 @@ func TestNewValidation(t *testing.T) {
 				t.Fatalf("New(%v,%d) err=%v, want ok=%v", c.levels, c.ppl, err, c.ok)
 			}
 		})
+	}
+}
+
+func TestNewRejectsInt32RankOverflow(t *testing.T) {
+	// The scheduler core trafficks in int32 rank ids, so any leaf-count x
+	// procs-per-leaf product past MaxInt32 must be rejected with the
+	// typed error — including products that would wrap int64 math.
+	for _, c := range []struct {
+		name   string
+		levels []int
+		ppl    int
+	}{
+		{"just-over", []int{1, 1 << 20}, 1 << 11},       // 2^31
+		{"way-over", []int{1, 1 << 20}, 1 << 12},        // 2^32
+		{"factor-over", []int{1, math.MaxInt32 + 1}, 1}, // single factor too big
+		{"int64-wrap", []int{1, 1 << 40}, 1 << 40},      // product wraps int64
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.levels, c.ppl)
+			if err == nil {
+				t.Fatalf("New(%v,%d) accepted an int32-overflowing rank count", c.levels, c.ppl)
+			}
+			var roe *RankOverflowError
+			if !errors.As(err, &roe) {
+				t.Fatalf("error %v is not a *RankOverflowError", err)
+			}
+			if roe.Leaves != c.levels[len(c.levels)-1] || roe.ProcsPerLeaf != c.ppl {
+				t.Errorf("error fields = %d/%d, want %d/%d", roe.Leaves, roe.ProcsPerLeaf, c.levels[len(c.levels)-1], c.ppl)
+			}
+		})
+	}
+	// Exactly MaxInt32 ranks is the largest legal machine.
+	topo, err := New([]int{1}, math.MaxInt32)
+	if err != nil {
+		t.Fatalf("MaxInt32 ranks rejected: %v", err)
+	}
+	if topo.Procs() != math.MaxInt32 {
+		t.Errorf("Procs=%d want %d", topo.Procs(), math.MaxInt32)
 	}
 }
 

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 
 	"rmalocks/internal/locks"
@@ -180,6 +181,14 @@ type Spec struct {
 	// NoCoalesce disables RMA charge coalescing (verification knob; see
 	// rma.Config.NoCoalesce).
 	NoCoalesce bool
+	// MemStats records host memory cost in Report.Extra after the run:
+	// "heap_bytes_per_rank" (live heap / P) and "sys_bytes_per_rank"
+	// (total runtime-held memory / P, which includes goroutine stacks —
+	// the dominant term when many ranks genuinely interleave). Off by
+	// default: the numbers are host-dependent and Extra feeds the report
+	// fingerprint, so enabling this forfeits byte-identical comparisons
+	// against baselines recorded without it.
+	MemStats bool
 	// Trace, when non-nil, captures the run's event stream (see
 	// internal/trace) and fills Report.Fairness and
 	// Report.HandoffLocality from the measured phase. The sink is
@@ -321,6 +330,15 @@ func Run(spec Spec) (Report, error) {
 	}
 	if spec.Trace != nil {
 		applyTraceMetrics(&rep, spec.Trace, topo, start, spec.Skip)
+	}
+	if spec.MemStats {
+		// Read after the run, while the machine/scheduler buffers are
+		// still reachable: HeapAlloc approximates the run's resident
+		// simulation state, Sys adds the runtime's stack spans.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rep.Extra["heap_bytes_per_rank"] = float64(ms.HeapAlloc) / float64(procs)
+		rep.Extra["sys_bytes_per_rank"] = float64(ms.Sys) / float64(procs)
 	}
 	spec.Workload.Extract(m, &rep)
 	return rep, nil

@@ -70,6 +70,11 @@ type Machine = rma.Machine
 // Topology describes the machine's element hierarchy.
 type Topology = topology.Topology
 
+// RankOverflowError is returned (wrapped) by NewMachineErr when a spec's
+// total rank count would overflow the int32 rank ids used by the
+// scheduler core; match it with errors.As.
+type RankOverflowError = topology.RankOverflowError
+
 // Mutex is a distributed mutual-exclusion lock.
 type Mutex = locks.Mutex
 
