@@ -4,7 +4,15 @@ GO ?= go
 # `make compare` (re-run + per-cell diff against it).
 SWEEP_FLAGS = -profiles uniform,zipf,bursty,sweep -ps 16,32,64
 
-.PHONY: build test race bench bench-trajectory bench-smoke million-smoke scale grid sweep compare trace paramspace clean
+# Fault-injection sweep shape shared by `make faults` (persist baseline)
+# and `make faults-compare` (re-run + diff). Two fault axes: a
+# perturbation-only profile every scheme runs, and a stall profile with
+# bounded acquires that projects onto the CapTimeout schemes.
+FAULT_FLAGS = -profiles uniform,zipf -ps 16,64 \
+	-faults 'jitter=0.2,stragglers=4x5%,stall=50us@0.02' \
+	-faults 'stall=100us@0.05,timeout=200us'
+
+.PHONY: build test race bench bench-trajectory bench-smoke million-smoke scale grid sweep compare faults faults-compare trace paramspace faulttour clean
 
 build:
 	$(GO) build ./...
@@ -85,6 +93,18 @@ sweep:
 compare:
 	$(GO) run ./cmd/workbench $(SWEEP_FLAGS) -baseline results/sweep.json
 
+# Fault-injection sweep with reproducibility check, persisted as the
+# degradation baseline (fault-free sibling cells + derived p99/p999
+# inflation metrics). Gated like results/sweep.json by faults-compare.
+faults:
+	@mkdir -p results
+	$(GO) run ./cmd/workbench $(FAULT_FLAGS) -check -out results/faults.json > results/faults.txt
+	@cat results/faults.txt
+
+# Re-run the fault grid and diff it per cell against the baseline.
+faults-compare:
+	$(GO) run ./cmd/workbench $(FAULT_FLAGS) -baseline results/faults.json
+
 # Capture an event trace of one contended cell per scheme pair
 # (Perfetto-loadable Chrome JSON under results/) and summarize it:
 # Jain fairness, handoff-locality histogram, wait tails.
@@ -98,6 +118,11 @@ trace:
 # CI runs the -smoke variant.
 paramspace:
 	$(GO) run ./examples/paramspace
+
+# Graceful vs pathological degradation under the same stall profile
+# (bounded spinlock vs convoying MCS queue); CI runs the -smoke variant.
+faulttour:
+	$(GO) run ./examples/faulttour
 
 clean:
 	rm -rf results bench-smoke.txt bench-smoke.json

@@ -11,6 +11,11 @@
 //	workbench -schemes RMA-RW,foMPI-RW -workloads dht -fw 0.2 -locks 8
 //	workbench -schemes RMA-RW -tune TR=250,500,1000 -tune TL2=16,32
 //	                                        # sweep the paper's lock parameter space
+//	workbench -faults 'jitter=0.2,stragglers=4x1%,stall=50us@0.01'
+//	                                        # fault axis: each profile next to a fault-free
+//	                                        # baseline cell, with degradation metrics derived
+//	workbench -schemes foMPI-Spin -faults 'stall=100us@0.1,timeout=200us'
+//	                                        # bounded acquires (CapTimeout schemes only)
 //	workbench -p 128 -iters 100 -seed 3 -check -csv -j 4
 //	workbench -out results/sweep.json       # persist a baseline
 //	workbench -baseline results/sweep.json  # diff against it (perf gate)
@@ -77,6 +82,8 @@ func main() {
 	)
 	var tunes tuneAxes
 	flag.Var(&tunes, "tune", "tunables axis KEY=v1,v2,... (repeatable, e.g. -tune TR=250,500,1000 -tune TL2=16,32); cross-product applied to schemes accepting KEY")
+	var faults faultAxes
+	flag.Var(&faults, "faults", "fault-injection profile 'jitter=0.2,stragglers=4x1%,stall=50us@0.01,timeout=200us' (repeatable; each profile becomes an extra cell next to a fault-free baseline cell)")
 	flag.Parse()
 
 	// Validate before profiling starts: flag errors must exit cleanly,
@@ -86,6 +93,22 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "workbench: unknown -engine %q (have '', %q, %q, %q)\n",
 			*engine, rma.EngineFast, rma.EngineRef, rma.EnginePSim)
+		os.Exit(2)
+	}
+	schemeList, err := splitSchemes(*schemes)
+	if err == nil {
+		err = validateTuneKeys(schemeList, tunes)
+	}
+	var workloadList []string
+	if err == nil {
+		workloadList, err = splitWorkloads(*workloads)
+	}
+	var profileList []string
+	if err == nil {
+		profileList, err = splitProfiles(*profiles)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -104,14 +127,15 @@ func main() {
 
 	opts := runOpts{
 		grid: sweep.Grid{
-			Schemes:   split(*schemes, workload.Schemes),
-			Workloads: split(*workloads, workload.WorkloadNames),
-			Profiles:  split(*profiles, workload.ProfileNames),
+			Schemes:   schemeList,
+			Workloads: workloadList,
+			Profiles:  profileList,
 			Ps:        parsePs(*psFlag, *p),
 			Iters:     *iters, ProcsPerNode: *ppn, Seed: *seed, SeedSet: seedSet,
 			FW: *fw, Locks: *nlocks, ZipfS: *zipfS, ZipfSSet: zipfSSet, Engine: *engine,
 			MemStats: *memstats,
 			Tunables: tunes,
+			Faults:   faults,
 		},
 		jobs: *jobs, check: *check, csv: *csv,
 		out: *out, baseline: *baseline, tol: *tol,
@@ -168,6 +192,9 @@ func run(opts runOpts) int {
 	if axes := (tuneAxes)(grid.Tunables); len(axes) > 0 {
 		title += " tune[" + axes.String() + "]"
 	}
+	if axes := (faultAxes)(grid.Faults); len(axes) > 0 {
+		title += " faults[" + axes.String() + "]"
+	}
 
 	start := time.Now()
 	cells, err := grid.Cells()
@@ -179,6 +206,11 @@ func run(opts runOpts) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if len(grid.Faults) > 0 {
+		// Join each faulted cell to its fault-free sibling and derive the
+		// degradation metrics before anything renders or persists.
+		sweep.ApplyDegradation(results)
 	}
 
 	tb := sweep.Table(title, results)
@@ -273,6 +305,9 @@ func exportTraces(path string, results []sweep.CellResult, ppn int, chrome bool)
 			if r.Key.Tunables != "" {
 				name += "_" + r.Key.Tunables
 			}
+			if r.Key.Faults != "" {
+				name += "_faults_" + r.Key.Faults
+			}
 			slug := strings.NewReplacer("/", "-", " ", "", ",", "_", "=", "").Replace(name)
 			p = fmt.Sprintf("%s_%02d_%s%s", strings.TrimSuffix(path, ext), i, slug, ext)
 		}
@@ -364,18 +399,4 @@ func parsePs(s string, single int) []int {
 		return []int{single}
 	}
 	return ps
-}
-
-func split(s string, all []string) []string {
-	if s == "all" {
-		return all
-	}
-	parts := strings.Split(s, ",")
-	out := parts[:0]
-	for _, p := range parts {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestFaultTourSmoke runs the tour in smoke mode; tour itself asserts
+// the degradation shape (the convoying queue lock inflates its p99
+// strictly more than the bounded spinlock under the same stall
+// profile), so a passing run is the CI-checked claim.
+func TestFaultTourSmoke(t *testing.T) {
+	if err := tour(true, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -51,6 +51,30 @@ func (l *SpinLock) Acquire(p *rma.Proc) {
 	}
 }
 
+// TryAcquireFor is the bounded variant of Acquire: it spins until the
+// CAS wins or the deadline passes, then gives up cleanly — a CAS lock
+// enqueues nothing, so abandoning is just stopping. Failed attempts are
+// resolved in the trace stream as EvAcqTimeout.
+func (l *SpinLock) TryAcquireFor(p *rma.Proc, timeout int64) bool {
+	p.TraceAcquireStart(l.id, true)
+	deadline := p.Now() + timeout
+	b := spinwait.New(200, 16000)
+	for {
+		prev := p.CAS(1, 0, l.home, l.base)
+		p.Flush(l.home)
+		if prev == 0 {
+			p.TraceAcquired(l.id, true)
+			return true
+		}
+		atomic.AddInt64(&l.Retries, 1)
+		if p.Now() >= deadline {
+			p.TraceAcquireTimeout(l.id, true)
+			return false
+		}
+		b.Pause(p)
+	}
+}
+
 // Release clears the lock word.
 func (l *SpinLock) Release(p *rma.Proc) {
 	p.TraceRelease(l.id, true)
@@ -114,6 +138,38 @@ func (l *RWLock) AcquireRead(p *rma.Proc) {
 	}
 }
 
+// TryAcquireReadFor is the bounded variant of AcquireRead. The fast
+// path already backs the increment out when a writer holds the lock, so
+// a timed-out attempt leaves the word exactly as it found it.
+func (l *RWLock) TryAcquireReadFor(p *rma.Proc, timeout int64) bool {
+	p.TraceAcquireStart(l.id, false)
+	deadline := p.Now() + timeout
+	b := spinwait.New(200, 16000)
+	for {
+		prev := p.FAO(1, l.home, l.base, rma.OpSum)
+		p.Flush(l.home)
+		if prev&writerBit == 0 {
+			p.TraceAcquired(l.id, false)
+			return true
+		}
+		p.Accumulate(-1, l.home, l.base, rma.OpSum)
+		p.Flush(l.home)
+		atomic.AddInt64(&l.ReaderRetries, 1)
+		for {
+			if p.Now() >= deadline {
+				p.TraceAcquireTimeout(l.id, false)
+				return false
+			}
+			v := p.Get(l.home, l.base)
+			p.Flush(l.home)
+			if v&writerBit == 0 {
+				break
+			}
+			b.Pause(p)
+		}
+	}
+}
+
 // ReleaseRead decrements the reader count.
 func (l *RWLock) ReleaseRead(p *rma.Proc) {
 	p.TraceRelease(l.id, false)
@@ -151,6 +207,58 @@ func (l *RWLock) AcquireWrite(p *rma.Proc) {
 		if v == writerBit {
 			p.TraceAcquired(l.id, true)
 			return
+		}
+		b.Pause(p)
+	}
+}
+
+// TryAcquireWriteFor is the bounded variant of AcquireWrite. A deadline
+// during the claim phase just stops retrying; a deadline during the
+// reader drain backs the claimed writer bit out, so a timed-out writer
+// never wedges the lock.
+func (l *RWLock) TryAcquireWriteFor(p *rma.Proc, timeout int64) bool {
+	p.TraceAcquireStart(l.id, true)
+	deadline := p.Now() + timeout
+	b := spinwait.New(200, 16000)
+	for {
+		v := p.Get(l.home, l.base)
+		p.Flush(l.home)
+		if v&writerBit != 0 {
+			atomic.AddInt64(&l.WriterRetries, 1)
+			if p.Now() >= deadline {
+				p.TraceAcquireTimeout(l.id, true)
+				return false
+			}
+			b.Pause(p)
+			continue
+		}
+		prev := p.CAS(v|writerBit, v, l.home, l.base)
+		p.Flush(l.home)
+		if prev == v {
+			break // claimed
+		}
+		atomic.AddInt64(&l.WriterRetries, 1)
+		if p.Now() >= deadline {
+			p.TraceAcquireTimeout(l.id, true)
+			return false
+		}
+		b.Pause(p)
+	}
+	// Drain readers; past the deadline, back the claim out so readers
+	// and later writers can proceed.
+	b.Reset()
+	for {
+		v := p.Get(l.home, l.base)
+		p.Flush(l.home)
+		if v == writerBit {
+			p.TraceAcquired(l.id, true)
+			return true
+		}
+		if p.Now() >= deadline {
+			p.Accumulate(-writerBit, l.home, l.base, rma.OpSum)
+			p.Flush(l.home)
+			p.TraceAcquireTimeout(l.id, true)
+			return false
 		}
 		b.Pause(p)
 	}

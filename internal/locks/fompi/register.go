@@ -16,7 +16,7 @@ func init() {
 		Name:    SchemeSpin,
 		Aliases: []string{"fompi-spin", "spin"},
 		Doc:     "foMPI-style centralized test-and-CAS spinlock baseline (all traffic on one rank)",
-		Caps:    scheme.CapMutex,
+		Caps:    scheme.CapMutex | scheme.CapTimeout,
 		Order:   10,
 		New: func(m *rma.Machine, t scheme.Tunables) (scheme.Lock, error) {
 			return scheme.WrapMutex(SchemeSpin, NewSpin(m)), nil
@@ -26,7 +26,7 @@ func init() {
 		Name:    SchemeRW,
 		Aliases: []string{"fompi-rw"},
 		Doc:     "foMPI-style centralized Reader-Writer lock baseline (reader count + writer bit on one word)",
-		Caps:    scheme.CapMutex | scheme.CapRW,
+		Caps:    scheme.CapMutex | scheme.CapRW | scheme.CapTimeout,
 		Order:   40,
 		New: func(m *rma.Machine, t scheme.Tunables) (scheme.Lock, error) {
 			return scheme.WrapRW(SchemeRW, NewRW(m)), nil

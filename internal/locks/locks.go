@@ -26,6 +26,28 @@ type RWMutex interface {
 	ReleaseWrite(p *rma.Proc)
 }
 
+// TryMutex is a Mutex supporting bounded acquisition: give up instead of
+// spinning forever behind a stalled holder. Queue locks whose enqueued
+// node cannot be unlinked without cooperation (MCS-style) deliberately do
+// NOT implement it; the scheme registry surfaces support as the
+// CapTimeout capability.
+type TryMutex interface {
+	Mutex
+	// TryAcquireFor attempts the acquire for at most timeout virtual ns
+	// from the call's effective clock. On failure it returns false with
+	// the lock state fully restored (nothing enqueued, nothing held) and
+	// the attempt resolved in the trace stream (EvAcqTimeout).
+	TryAcquireFor(p *rma.Proc, timeout int64) bool
+}
+
+// TryRWMutex is an RWMutex supporting bounded acquisition in both modes,
+// with the same clean-abandon contract as TryMutex.
+type TryRWMutex interface {
+	RWMutex
+	TryAcquireReadFor(p *rma.Proc, timeout int64) bool
+	TryAcquireWriteFor(p *rma.Proc, timeout int64) bool
+}
+
 // WriterOnly adapts a Mutex to the RWMutex interface by treating every
 // reader as a writer; used to run RW workloads over plain mutexes.
 type WriterOnly struct{ Mu Mutex }
@@ -34,6 +56,21 @@ func (w WriterOnly) AcquireRead(p *rma.Proc)  { w.Mu.Acquire(p) }
 func (w WriterOnly) ReleaseRead(p *rma.Proc)  { w.Mu.Release(p) }
 func (w WriterOnly) AcquireWrite(p *rma.Proc) { w.Mu.Acquire(p) }
 func (w WriterOnly) ReleaseWrite(p *rma.Proc) { w.Mu.Release(p) }
+
+// TryWriterOnly adapts a TryMutex to the TryRWMutex interface the same
+// way WriterOnly adapts a Mutex.
+type TryWriterOnly struct{ Mu TryMutex }
+
+func (w TryWriterOnly) AcquireRead(p *rma.Proc)  { w.Mu.Acquire(p) }
+func (w TryWriterOnly) ReleaseRead(p *rma.Proc)  { w.Mu.Release(p) }
+func (w TryWriterOnly) AcquireWrite(p *rma.Proc) { w.Mu.Acquire(p) }
+func (w TryWriterOnly) ReleaseWrite(p *rma.Proc) { w.Mu.Release(p) }
+func (w TryWriterOnly) TryAcquireReadFor(p *rma.Proc, timeout int64) bool {
+	return w.Mu.TryAcquireFor(p, timeout)
+}
+func (w TryWriterOnly) TryAcquireWriteFor(p *rma.Proc, timeout int64) bool {
+	return w.Mu.TryAcquireFor(p, timeout)
+}
 
 // STATUS-field encoding (paper §3.2.4): two negative sentinels plus
 // non-negative "enter the CS" values that simultaneously carry the count

@@ -14,8 +14,11 @@ func init() {
 	scheme.MustRegister(scheme.Descriptor{
 		Name:    SchemeName,
 		Aliases: []string{"rmamcs"},
-		Doc:     "topology-aware distributed MCS lock (§3.5): tree of distributed queues with locality thresholds",
-		Caps:    scheme.CapMutex,
+		Doc: "topology-aware distributed MCS lock (§3.5): tree of distributed queues with locality thresholds",
+		// No CapTimeout: the distributed-queue nodes cannot be unlinked
+		// without successor cooperation (same constraint as D-MCS, at
+		// every tree level).
+		Caps: scheme.CapMutex,
 		Order:   30,
 		Tunables: []scheme.TunableSpec{
 			{Key: "TL", Doc: "locality threshold T_L,i of tree level i (level 1 is ignored: with no readers the root passes indefinitely, §3.5)",

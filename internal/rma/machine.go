@@ -16,6 +16,7 @@ package rma
 import (
 	"fmt"
 
+	"rmalocks/internal/fault"
 	"rmalocks/internal/sim"
 	"rmalocks/internal/sim/psim"
 	"rmalocks/internal/sim/refsim"
@@ -60,6 +61,7 @@ type schedHandle interface {
 	Barrier()
 	Block()
 	WakeAt(clock int64)
+	Abort(err error)
 }
 
 // gateHandle is the wider handle of the parallel engine (internal/
@@ -118,6 +120,7 @@ type Machine struct {
 	engine     string
 	nocoalesce bool
 	sink       *trace.Sink
+	inj        *fault.Injector // nil when the fault profile perturbs nothing
 	nextLockID int
 	ran        bool
 	stats      Stats
@@ -152,6 +155,13 @@ type Config struct {
 	// virtual-time decision (differential-tested), and a nil sink
 	// leaves the hot paths at one nil check.
 	Trace *trace.Sink
+	// Faults, when non-nil, perturbs the machine deterministically (see
+	// internal/fault): RTT jitter, congestion windows on network links,
+	// straggler occupancy multipliers and op-issue stalls. The schedule
+	// is a pure function of (seed, rank, event index), so faulted runs
+	// stay byte-identical across engines; a nil profile leaves charge at
+	// one nil check.
+	Faults *fault.Profile
 }
 
 // NewMachine creates a machine over the given topology with default config.
@@ -190,6 +200,7 @@ func NewMachineConfig(topo *topology.Topology, cfg Config) *Machine {
 		engine:     cfg.Engine,
 		nocoalesce: cfg.NoCoalesce,
 		sink:       cfg.Trace,
+		inj:        fault.NewInjector(cfg.Faults, seed, topo.Procs()),
 	}
 }
 
@@ -398,13 +409,28 @@ func (m *Machine) charge(origin *Proc, target int, atomic bool) (dur, land int64
 	} else {
 		rtt, occ = m.lat.DataRTT[d], m.lat.DataOcc[d]
 	}
+	clock := origin.Now()
+	issue := clock
+	if m.inj != nil {
+		// Deterministic fault injection: stall defers the op's issue
+		// (the rank is descheduled), jitter/congestion widen the round
+		// trip, stragglers widen target occupancy. All perturbations are
+		// additive-only, so the parallel engine's lookahead (built from
+		// the unperturbed table) stays a valid lower bound; the memory
+		// effect still applies at the unperturbed issue time, so the
+		// global (time, rank) access order — and therefore every
+		// interleaving — is identical with and without the gate.
+		var stall int64
+		rtt, occ, stall = m.inj.Perturb(origin.rank, origin.fidx, clock, d, target, rtt, occ)
+		origin.fidx++
+		issue += stall
+	}
 	// Split the round trip into outbound and return wire time; the return
 	// half rounds up so the two always sum to the configured RTT (an odd
 	// RTT must not lose a nanosecond to truncation).
 	wireOut := rtt / 2
 	wireBack := rtt - wireOut
-	clock := origin.Now()
-	start := clock + wireOut
+	start := issue + wireOut
 	if b := m.busy[target]; b > start {
 		start = b
 	}

@@ -30,6 +30,12 @@ type Proc struct {
 	// scheduler (charge coalescing, see spend). The process's effective
 	// clock is h.Clock() + pending.
 	pending int64
+	// fidx is the rank's running charge-event index, the event axis of
+	// the deterministic fault schedule (see internal/fault). charge is
+	// called in the same per-rank order on every engine, so the index —
+	// and therefore the schedule — is engine-invariant. Only advanced
+	// when fault injection is on.
+	fidx uint64
 	// Per-class trace buffers (nil when tracing or the class is off):
 	// opBuf receives RMA op issue/land events, lockBuf the lock
 	// protocol events emitted via the TraceXxx helpers, chargeBuf the
@@ -146,6 +152,25 @@ func (p *Proc) TraceRelease(id int, write bool) {
 	if p.lockBuf != nil {
 		p.lockBuf.Emit(trace.EvRelease, p.Now(), int64(id), wmode(write), 0)
 	}
+}
+
+// TraceAcquireTimeout records a bounded acquire giving up: it resolves
+// the rank's pending acq-start for the lock without an acquisition
+// (trace.Validate enforces the pairing).
+func (p *Proc) TraceAcquireTimeout(id int, write bool) {
+	if p.lockBuf != nil {
+		p.lockBuf.Emit(trace.EvAcqTimeout, p.Now(), int64(id), wmode(write), 0)
+	}
+}
+
+// Abort terminates the whole run with err: every rank unwinds and Run
+// returns an error wrapping err (errors.Is-visible), identically on all
+// three engines (conformance-tested). It never returns. Use it for
+// fatal protocol conditions a rank detects mid-run, e.g. exhausted
+// bounded-acquire retries under a fault profile configured to abort.
+func (p *Proc) Abort(err error) {
+	p.h.Abort(err)
+	panic("rma: scheduler Abort returned") // unreachable: Abort unwinds
 }
 
 // beginAccess passes the parallel engine's gate before a shared access at

@@ -36,6 +36,13 @@ const (
 	// interface through a writer-only adaptation: reads acquire
 	// exclusively.
 	CapRW
+	// CapTimeout marks a scheme supporting bounded acquisition
+	// (locks.TryMutex / locks.TryRWMutex): a timed-out acquire is
+	// cleanly abandoned with nothing enqueued. Queue locks whose MCS
+	// node cannot be unlinked without successor cooperation do not have
+	// it; requesting a timeout against them is typed-rejected
+	// (CapabilityError).
+	CapTimeout
 )
 
 // Has reports whether every capability in q is present in c.
@@ -48,6 +55,9 @@ func (c Caps) String() string {
 	}
 	if c.Has(CapRW) {
 		parts = append(parts, "RW")
+	}
+	if c.Has(CapTimeout) {
+		parts = append(parts, "Timeout")
 	}
 	if len(parts) == 0 {
 		return "Caps(0)"
@@ -189,15 +199,26 @@ func (w wrapped) Underlying() any { return w.impl }
 
 // WrapMutex adapts a mutex-only implementation to the unified Lock
 // interface: reads acquire exclusively (locks.WriterOnly), and Caps
-// reports CapMutex only.
+// reports CapMutex, plus CapTimeout when the implementation supports
+// bounded acquisition (locks.TryMutex).
 func WrapMutex(name string, mu locks.Mutex) Lock {
-	return wrapped{RWMutex: locks.WriterOnly{Mu: mu}, name: name, caps: CapMutex, impl: mu}
+	caps := CapMutex
+	if _, ok := mu.(locks.TryMutex); ok {
+		caps |= CapTimeout
+	}
+	return wrapped{RWMutex: locks.WriterOnly{Mu: mu}, name: name, caps: caps, impl: mu}
 }
 
 // WrapRW wraps a genuine reader-writer implementation; Caps reports
-// CapMutex|CapRW (a writer acquisition is mutual exclusion).
+// CapMutex|CapRW (a writer acquisition is mutual exclusion), plus
+// CapTimeout when the implementation supports bounded acquisition
+// (locks.TryRWMutex).
 func WrapRW(name string, rw locks.RWMutex) Lock {
-	return wrapped{RWMutex: rw, name: name, caps: CapMutex | CapRW, impl: rw}
+	caps := CapMutex | CapRW
+	if _, ok := rw.(locks.TryRWMutex); ok {
+		caps |= CapTimeout
+	}
+	return wrapped{RWMutex: rw, name: name, caps: caps, impl: rw}
 }
 
 // AsMutex extracts the mutex view of a registry lock: the concrete
@@ -205,6 +226,20 @@ func WrapRW(name string, rw locks.RWMutex) Lock {
 func AsMutex(l Lock) (locks.Mutex, bool) {
 	mu, ok := l.Underlying().(locks.Mutex)
 	return mu, ok
+}
+
+// AsTimed extracts the bounded-acquire view of a registry lock:
+// directly for TryRWMutex implementations, through the writer-only
+// adaptation for TryMutex ones, or false for schemes without
+// CapTimeout.
+func AsTimed(l Lock) (locks.TryRWMutex, bool) {
+	switch impl := l.Underlying().(type) {
+	case locks.TryRWMutex:
+		return impl, true
+	case locks.TryMutex:
+		return locks.TryWriterOnly{Mu: impl}, true
+	}
+	return nil, false
 }
 
 // ---------------------------------------------------------------------
@@ -219,6 +254,18 @@ type UnknownSchemeError struct {
 
 func (e *UnknownSchemeError) Error() string {
 	return fmt.Sprintf("scheme: unknown scheme %q (have %v)", e.Name, e.Have)
+}
+
+// CapabilityError reports a request for a capability a scheme does not
+// have, e.g. bounded-timeout acquires (CapTimeout) against an MCS-queue
+// lock whose enqueued node cannot be abandoned.
+type CapabilityError struct {
+	Scheme string
+	Need   Caps
+}
+
+func (e *CapabilityError) Error() string {
+	return fmt.Sprintf("scheme: %s lacks capability %s", e.Scheme, e.Need)
 }
 
 // UnknownTunableError reports a tunable key the scheme does not accept.

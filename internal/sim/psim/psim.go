@@ -418,6 +418,15 @@ func (h *Handle) Block() {
 
 // WakeAt is part of the sequential scheduler interface but unused here:
 // package rma's psim path wakes via WakeAtFrom.
+// Abort terminates the simulation with err exactly like the sequential
+// engines' Handle.Abort: first failure wins, the error is wrapped with
+// the aborting process and clock, every parked process is released, and
+// the calling goroutine unwinds immediately — Abort never returns.
+func (h *Handle) Abort(err error) {
+	h.s.fail(fmt.Errorf("%w (process %d at %d ns)", err, h.p.id, h.p.clock))
+	panic(abortSignal{})
+}
+
 func (h *Handle) WakeAt(clock int64) {
 	panic("psim: WakeAt is not supported; use WakeAtFrom")
 }

@@ -329,6 +329,18 @@ func (h *Handle) WakeAt(clock int64) {
 // advanced to at least clock; the caller keeps the execution token.
 func (h *Handle) Wake(q *Handle, clock int64) { q.WakeAt(clock) }
 
+// Abort terminates the simulation with err exactly like the fast
+// engine's Handle.Abort: first failure wins, the error is wrapped with
+// the aborting process and clock, and the calling goroutine unwinds
+// immediately — Abort never returns.
+func (h *Handle) Abort(err error) {
+	s := h.s
+	s.mu.Lock()
+	s.failLocked(fmt.Errorf("%w (process %d at %d ns)", err, h.p.id, h.p.clock))
+	s.mu.Unlock()
+	panic(abortSignal{})
+}
+
 // park blocks the calling process until it is woken with the token.
 func (h *Handle) park() {
 	<-h.p.wake

@@ -570,6 +570,20 @@ func (h *Handle) WakeAt(clock int64) {
 // process; the caller keeps the execution token.
 func (h *Handle) Wake(q *Handle, clock int64) { q.WakeAt(clock) }
 
+// Abort terminates the simulation with err: the error is recorded (first
+// failure wins, wrapped with the aborting process and its virtual time,
+// errors.Is-visible), every parked process is released to unwind, and the
+// calling goroutine unwinds immediately — Abort never returns. Must be
+// called by the running process itself. All three engines surface aborts
+// identically (conformance-tested).
+func (h *Handle) Abort(err error) {
+	s := h.s
+	s.mu.Lock()
+	s.failLocked(fmt.Errorf("%w (process %d at %d ns)", err, h.id, h.hs.clock))
+	s.mu.Unlock()
+	panic(abortSignal{})
+}
+
 // park blocks the calling process until it is woken with the token. ch is
 // the caller's wake channel, resolved under the mutex by the slow path
 // that decided to park (wakeChanLocked), so no wake can be sent before

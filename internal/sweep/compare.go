@@ -101,7 +101,7 @@ func Regressions(deltas []Delta, tolPct float64) []Delta {
 func CompareTable(title string, deltas []Delta) *stats.Table {
 	t := &stats.Table{
 		Title: title,
-		Columns: []string{"Scheme", "Workload", "Profile", "P", "Tunables",
+		Columns: []string{"Scheme", "Workload", "Profile", "P", "Tunables", "Faults",
 			"BaseMops", "CurMops", "dMops[%]", "BaseLat[us]", "CurLat[us]", "dLat[%]", "Match"},
 	}
 	for _, d := range deltas {
@@ -114,7 +114,7 @@ func CompareTable(title string, deltas []Delta) *stats.Table {
 		case d.Identical:
 			match = "identical"
 		}
-		t.AddRow(d.Key.Scheme, d.Key.Workload, d.Key.Profile, fmt.Sprint(d.Key.P), orDash(d.Key.Tunables),
+		t.AddRow(d.Key.Scheme, d.Key.Workload, d.Key.Profile, fmt.Sprint(d.Key.P), orDash(d.Key.Tunables), orDash(d.Key.Faults),
 			stats.FmtF(d.BaseMops), stats.FmtF(d.CurMops), fmtPct(d.MopsPct),
 			stats.FmtF(d.BaseLat), stats.FmtF(d.CurLat), fmtPct(d.LatPct), match)
 	}

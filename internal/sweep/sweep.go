@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rmalocks/internal/fault"
 	"rmalocks/internal/scheme"
 	"rmalocks/internal/stats"
 	"rmalocks/internal/trace"
@@ -41,12 +42,20 @@ type Key struct {
 	// omitted from JSON, keeping pre-tunables baselines byte-identical —
 	// when the cell uses scheme defaults.
 	Tunables string `json:"tunables,omitempty"`
+	// Faults is the canonical encoding of the cell's fault profile (see
+	// internal/fault); empty — and omitted from JSON, keeping fault-free
+	// baselines byte-identical — for unperturbed cells, including the
+	// fault-free baseline cell a fault axis always enumerates.
+	Faults string `json:"faults,omitempty"`
 }
 
 func (k Key) String() string {
 	s := fmt.Sprintf("%s/%s/%s/P=%d", k.Scheme, k.Workload, k.Profile, k.P)
 	if k.Tunables != "" {
 		s += "/" + k.Tunables
+	}
+	if k.Faults != "" {
+		s += "/faults=" + k.Faults
 	}
 	return s
 }
@@ -225,6 +234,19 @@ type Grid struct {
 	// so mixed-scheme grids stay enumerable. An empty list reproduces
 	// the pre-tunables grid byte-identically.
 	Tunables []TunableAxis
+	// Faults adds a fault-injection axis: each profile becomes an extra
+	// cell, innermost in the canonical order (inside the tunables
+	// cross-product), with the profile's canonical encoding folded into
+	// the cell Key and report fingerprint. A non-empty axis always
+	// enumerates the fault-free cell first — the degradation baseline —
+	// and switches every cell (including fault-free ones) to
+	// FaultMetrics mode so tail-latency percentiles are comparable;
+	// ApplyDegradation then derives per-cell inflation metrics. Profiles
+	// that request acquire timeouts apply only to schemes whose registry
+	// descriptor advertises CapTimeout (mirroring the tunables-axis
+	// projection; an MCS-queue node cannot abandon its slot). An empty
+	// axis reproduces the pre-fault grid byte-identically.
+	Faults []*fault.Profile
 	// Engine selects the scheduler implementation for every cell ("" or
 	// "fast" = token-owned fast path, "ref" = reference engine); the
 	// workbench -engine flag exposes it for ad-hoc differential sweeps.
@@ -335,28 +357,67 @@ func axesFor(schemeName string, axes []TunableAxis) []TunableAxis {
 	return out
 }
 
+// faultsFor projects the grid's fault axis onto one scheme: the
+// fault-free baseline cell always leads, and profiles that bound
+// acquires (Timeout > 0) take part only when the scheme's descriptor
+// advertises CapTimeout — mirroring axesFor, so a mixed-scheme grid
+// never enumerates cells the workload layer would typed-reject.
+// Unknown schemes keep every profile; the run surfaces the registry's
+// (or capability) typed error. An empty axis yields the single
+// fault-free combination with metrics off.
+func faultsFor(schemeName string, profiles []*fault.Profile) []*fault.Profile {
+	if len(profiles) == 0 {
+		return []*fault.Profile{nil}
+	}
+	out := []*fault.Profile{nil}
+	d, err := scheme.Describe(schemeName)
+	for _, fp := range profiles {
+		if fp == nil {
+			continue // the baseline cell is always enumerated exactly once
+		}
+		if fp.Timeout > 0 && err == nil && !d.Caps.Has(scheme.CapTimeout) {
+			continue
+		}
+		out = append(out, fp)
+	}
+	return out
+}
+
 // Cells enumerates the grid in canonical order: scheme outermost, then
 // workload, then profile, then P, then the tunables cross-product
-// (first axis outermost). Reports, baselines and diffs all follow this
-// order. A repeated tunables axis key yields a DuplicateAxisError —
-// checked on the full axis list, before per-scheme projection, so the
-// same grid fails the same way regardless of which schemes it names.
+// (first axis outermost), then the fault axis (fault-free baseline
+// first). Reports, baselines and diffs all follow this order. A
+// repeated tunables axis key yields a DuplicateAxisError — checked on
+// the full axis list, before per-scheme projection, so the same grid
+// fails the same way regardless of which schemes it names.
 func (g Grid) Cells() ([]Cell, error) {
 	g = g.fill()
 	if _, err := combos(g.Tunables); err != nil {
 		return nil, err
 	}
+	for i, fp := range g.Faults {
+		if fp == nil {
+			continue
+		}
+		if err := fp.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: fault axis entry %d: %w", i, err)
+		}
+	}
+	faultMetrics := len(g.Faults) > 0
 	var cells []Cell
 	for _, schemeName := range g.Schemes {
 		tuns, err := combos(axesFor(schemeName, g.Tunables))
 		if err != nil {
 			return nil, err
 		}
+		faults := faultsFor(schemeName, g.Faults)
 		for _, wname := range g.Workloads {
 			for _, pname := range g.Profiles {
 				for _, p := range g.Ps {
 					for _, tun := range tuns {
-						cells = append(cells, g.cell(schemeName, wname, pname, p, tun))
+						for _, fp := range faults {
+							cells = append(cells, g.cell(schemeName, wname, pname, p, tun, fp, faultMetrics))
+						}
 					}
 				}
 			}
@@ -365,9 +426,10 @@ func (g Grid) Cells() ([]Cell, error) {
 	return cells, nil
 }
 
-func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables) Cell {
+func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables, fp *fault.Profile, faultMetrics bool) Cell {
 	return Cell{
-		Key: Key{Scheme: schemeName, Workload: wname, Profile: pname, P: p, Tunables: tun.Canonical()},
+		Key: Key{Scheme: schemeName, Workload: wname, Profile: pname, P: p,
+			Tunables: tun.Canonical(), Faults: fp.Canonical()},
 		Spec: func() (workload.Spec, error) {
 			wl, err := workload.ByName(wname)
 			if err != nil {
@@ -395,6 +457,8 @@ func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables) 
 				Workload:     wl,
 				Params:       g.Params,
 				Tunables:     tun.Clone(),
+				Faults:       fp.Clone(),
+				FaultMetrics: faultMetrics,
 				Engine:       g.Engine,
 				MemStats:     g.MemStats,
 			}
@@ -412,7 +476,7 @@ func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables) 
 func Table(title string, results []CellResult) *stats.Table {
 	t := &stats.Table{
 		Title: title,
-		Columns: []string{"Scheme", "Workload", "Profile", "P", "Tunables", "Locks",
+		Columns: []string{"Scheme", "Workload", "Profile", "P", "Tunables", "Faults", "Locks",
 			"Mops", "MeanLat[us]", "P95Lat[us]", "Makespan[ms]", "Reads", "Writes", "Jain", "Extra"},
 	}
 	for _, r := range results {
@@ -425,7 +489,7 @@ func Table(title string, results []CellResult) *stats.Table {
 		if rep.Fairness != 0 || rep.HandoffLocality != nil {
 			jain = stats.FmtF(rep.Fairness)
 		}
-		t.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(rep.P), orDash(r.Key.Tunables), fmt.Sprint(r.Locks),
+		t.AddRow(rep.Scheme, rep.Workload, rep.Profile, fmt.Sprint(rep.P), orDash(r.Key.Tunables), orDash(r.Key.Faults), fmt.Sprint(r.Locks),
 			stats.FmtF(rep.ThroughputMops), stats.FmtF(rep.Latency.Mean), stats.FmtF(rep.Latency.P95),
 			stats.FmtF(rep.MakespanMs), fmt.Sprint(rep.Reads), fmt.Sprint(rep.Writes), jain, extraString(rep))
 	}

@@ -115,6 +115,13 @@ func WriteChrome(w io.Writer, events []Event, meta Meta) error {
 				span(fmt.Sprintf("hold L%d", e.Arg0), "lock", e, acq.Clock, e.Clock,
 					map[string]any{"lock": e.Arg0, "mode": mode(e), "c": acq.Clock, "elem": acq.Arg2})
 			}
+		case EvAcqTimeout:
+			k := lockKey{e.Rank, e.Arg0}
+			if start, ok := waitStart[k]; ok {
+				delete(waitStart, k)
+				span(fmt.Sprintf("wait-timeout L%d", e.Arg0), "timeout", e, start, e.Clock,
+					map[string]any{"lock": e.Arg0, "mode": mode(e), "c": e.Clock})
+			}
 		case EvOp:
 			name := "op"
 			if e.Arg0 >= 0 && int(e.Arg0) < len(OpNames) {

@@ -11,7 +11,12 @@ import "fmt"
 //     the same (rank, lock); a write acquisition requires the lock to
 //     be free, a read acquisition requires no write holder (readers may
 //     share); every EvRelease matches a current holder;
-//   - scheduling: EvWake targets a rank with an unresolved EvBlock.
+//   - scheduling: EvWake targets a rank with an unresolved EvBlock;
+//   - degradation (fault profiles): every EvAcqTimeout resolves a
+//     pending EvAcqStart of the same (rank, lock) — a timed-out acquire
+//     is cleanly abandoned, never half-acquired — and at end of stream
+//     no rank is left blocked (no lost wakeups across stalls), no lock
+//     is still held, and no acquire is still pending.
 //
 // The differential suite runs Validate over every traced cell, turning
 // the trace subsystem into a replay-driven checker: a protocol bug that
@@ -98,6 +103,16 @@ func Validate(events []Event) error {
 				}
 				delete(ls.readers, e.Rank)
 			}
+		case EvAcqTimeout:
+			k := pendKey{e.Rank, e.Arg0}
+			if !pendingAcq[k] {
+				return fmt.Errorf("trace: %v without a pending acq-start", *e)
+			}
+			delete(pendingAcq, k)
+			ls := state(e.Arg0)
+			if ls.writer == e.Rank || ls.readers[e.Rank] {
+				return fmt.Errorf("trace: %v by a rank still holding the lock", *e)
+			}
 		case EvBlock:
 			blocked[e.Rank] = true
 		case EvWake:
@@ -106,6 +121,21 @@ func Validate(events []Event) error {
 			}
 			delete(blocked, e.Rank)
 		}
+	}
+	// End-of-stream degradation invariants: a complete capture of a run
+	// that finished (faulted or not) must leave no rank blocked without
+	// a wake, no lock held, and no acquire unresolved.
+	for r := range blocked {
+		return fmt.Errorf("trace: rank %d still blocked at end of stream (lost wakeup)", r)
+	}
+	for id, ls := range locks {
+		if ls.writer != -1 || len(ls.readers) != 0 {
+			return fmt.Errorf("trace: lock %d still held at end of stream (writer=%d readers=%d)",
+				id, ls.writer, len(ls.readers))
+		}
+	}
+	for k := range pendingAcq {
+		return fmt.Errorf("trace: rank %d acquire of lock %d unresolved at end of stream", k.rank, k.lock)
 	}
 	return nil
 }

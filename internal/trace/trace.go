@@ -76,6 +76,10 @@ const (
 	// EvFlush: Rank flushed coalesced-but-unpublished virtual time at a
 	// coalescing boundary. Arg0 = the flushed amount (ClassCharge).
 	EvFlush
+	// EvAcqTimeout: Rank's bounded lock acquire gave up at its deadline,
+	// resolving the pending EvAcqStart without an acquisition. Arg0 =
+	// lock id, Arg1 = mode (0 read, 1 write).
+	EvAcqTimeout
 
 	numKinds
 )
@@ -83,7 +87,7 @@ const (
 var kindNames = [numKinds]string{
 	"dispatch", "block", "wake", "barrier",
 	"op", "acq-start", "acquired", "release",
-	"advance", "flush",
+	"advance", "flush", "acq-timeout",
 }
 
 func (k Kind) String() string {
@@ -141,7 +145,7 @@ func KindClass(k Kind) Class {
 		return ClassSched
 	case EvOp:
 		return ClassOp
-	case EvAcqStart, EvAcquired, EvRelease:
+	case EvAcqStart, EvAcquired, EvRelease, EvAcqTimeout:
 		return ClassLock
 	default:
 		return ClassCharge

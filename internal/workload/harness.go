@@ -1,10 +1,12 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
 
+	"rmalocks/internal/fault"
 	"rmalocks/internal/locks"
 	"rmalocks/internal/locks/dmcs"
 	"rmalocks/internal/locks/fompi"
@@ -12,9 +14,16 @@ import (
 	"rmalocks/internal/locks/rmarw"
 	"rmalocks/internal/rma"
 	"rmalocks/internal/scheme"
+	"rmalocks/internal/stats"
 	"rmalocks/internal/topology"
 	"rmalocks/internal/trace"
 )
+
+// ErrRetriesExhausted aborts a faulted run whose fault profile sets
+// onexhaust=abort once a rank runs out of bounded-acquire retries. It
+// surfaces through Run wrapped (errors.Is-visible) identically on all
+// three engines, like sim.ErrTimeLimit.
+var ErrRetriesExhausted = errors.New("workload: bounded-acquire retries exhausted")
 
 // Lock scheme names understood by the harness, aliased from the lock
 // packages' registry names so the layers cannot drift.
@@ -173,6 +182,24 @@ type Spec struct {
 	// DHT volume host).
 	Skip func(rank, procs int) bool
 
+	// Faults, when non-nil, runs the cell under the deterministic
+	// perturbation profile (see internal/fault): jitter, congestion,
+	// stragglers and stalls flow into rma.Config.Faults; a Timeout
+	// switches lock acquires to the bounded try/backoff/retry path,
+	// which requires a scheme with the CapTimeout capability — others
+	// fail with a typed *scheme.CapabilityError. Faulted runs stay
+	// byte-identical across engines (differential-tested); the profile's
+	// canonical string is recorded in Report.Faults and its fingerprint,
+	// and degradation metrics (lat_p99/lat_p999, timeout/retry counts)
+	// land in Report.Extra. Nil leaves reports byte-identical to
+	// fault-free baselines.
+	Faults *fault.Profile
+	// FaultMetrics forces the tail-latency Extra keys (lat_p99,
+	// lat_p999) even on a fault-free run. Sweep grids with a faults axis
+	// set it on every cell, so the fault-free baseline cell carries the
+	// percentiles the degradation pass divides by.
+	FaultMetrics bool
+
 	// Engine selects the scheduler implementation: "" or rma.EngineFast
 	// for the token-owned fast-path scheduler, rma.EngineRef for the
 	// reference one. The differential determinism suite runs every cell
@@ -239,7 +266,8 @@ func Run(spec Spec) (Report, error) {
 	spec.fill()
 	topo := topology.ForProcs(spec.P, spec.ProcsPerNode)
 	cfg := rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit,
-		Engine: spec.Engine, NoCoalesce: spec.NoCoalesce, Trace: spec.Trace}
+		Engine: spec.Engine, NoCoalesce: spec.NoCoalesce, Trace: spec.Trace,
+		Faults: spec.Faults}
 	if spec.Latency != nil {
 		lat := spec.Latency(topo.MaxDistance())
 		cfg.Latency = &lat
@@ -258,6 +286,10 @@ func Run(spec Spec) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	timed, err := timedSet(spec, set)
+	if err != nil {
+		return Report{}, err
+	}
 	spec.Workload.Setup(m)
 
 	procs := m.Procs()
@@ -265,6 +297,10 @@ func Run(spec Spec) (Report, error) {
 	defer putRunBufs(bufs)
 	rlat, wlat, ends := bufs.rlat, bufs.wlat, bufs.ends
 	var start int64
+	var fc *faultCounters
+	if timed != nil {
+		fc = newFaultCounters(procs)
+	}
 
 	runErr := m.Run(func(p *rma.Proc) {
 		r := p.Rank()
@@ -279,9 +315,19 @@ func Run(spec Spec) (Report, error) {
 		step := func(it int, measured bool) {
 			in := spec.Profile.Next(p, it)
 			t0 := p.Now()
+			acquired := true
 			switch {
 			case spec.NoLock:
 				spec.Workload.Body(p, in)
+			case timed != nil:
+				if acquired = acquireTimed(p, timed[in.Lock], in.Write, spec.Faults, fc); acquired {
+					spec.Workload.Body(p, in)
+					if in.Write {
+						timed[in.Lock].ReleaseWrite(p)
+					} else {
+						timed[in.Lock].ReleaseRead(p)
+					}
+				}
 			case in.Write:
 				lk := set[in.Lock]
 				lk.AcquireWrite(p)
@@ -293,7 +339,7 @@ func Run(spec Spec) (Report, error) {
 				spec.Workload.Body(p, in)
 				lk.ReleaseRead(p)
 			}
-			if measured {
+			if measured && acquired {
 				d := float64(p.Now()-t0) / 1e3 // µs
 				if in.Write {
 					wl = append(wl, d)
@@ -327,6 +373,19 @@ func Run(spec Spec) (Report, error) {
 	rep.DirectEntries = directEntries(set)
 	if !spec.NoLock && spec.Make == nil && len(spec.Tunables) > 0 {
 		rep.Tunables = spec.Tunables.Canonical()
+	}
+	if spec.Faults != nil {
+		rep.Faults = spec.Faults.Canonical()
+	}
+	if spec.FaultMetrics || spec.Faults != nil {
+		// Tail latencies for the degradation pass (sweep.ApplyDegradation
+		// divides a faulted cell's tails by its fault-free baseline's).
+		// bufs.all was sorted by summarize.
+		rep.Extra["lat_p99"] = stats.Percentile(bufs.all, 99)
+		rep.Extra["lat_p999"] = stats.Percentile(bufs.all, 99.9)
+	}
+	if fc != nil {
+		fc.apply(&rep)
 	}
 	if spec.Trace != nil {
 		applyTraceMetrics(&rep, spec.Trace, topo, start, spec.Skip)

@@ -57,6 +57,12 @@ type Report struct {
 	// and then omitted from JSON and the Fingerprint, so pre-registry
 	// baselines stay byte-identical.
 	Tunables string `json:",omitempty"`
+	// Faults is the canonical encoding of the fault profile the run was
+	// perturbed with (see internal/fault; e.g.
+	// "jitter=0.2,stall=50000@0.01", sorted keys). Empty for fault-free
+	// runs and then omitted from JSON and the Fingerprint, so fault-free
+	// baselines stay byte-identical to pre-fault ones.
+	Faults string `json:",omitempty"`
 
 	// Ops is the number of measured cycles (Reads + Writes); WarmupOps
 	// counts the discarded warm-up cycles.
@@ -131,10 +137,14 @@ func (r Report) Fingerprint() string {
 	if r.Tunables != "" {
 		tunPart = fmt.Sprintf(" tun=%s", r.Tunables)
 	}
-	return fmt.Sprintf("%s/%s/%s P=%d ops=%d r=%d w=%d warm=%d thr=%v lat=%+v rlat=%+v wlat=%+v mk=%v clk=%d rem=%d de=%d extra=%s%s%s",
+	faultPart := ""
+	if r.Faults != "" {
+		faultPart = fmt.Sprintf(" faults=%s", r.Faults)
+	}
+	return fmt.Sprintf("%s/%s/%s P=%d ops=%d r=%d w=%d warm=%d thr=%v lat=%+v rlat=%+v wlat=%+v mk=%v clk=%d rem=%d de=%d extra=%s%s%s%s",
 		r.Scheme, r.Workload, r.Profile, r.P, r.Ops, r.Reads, r.Writes, r.WarmupOps,
 		r.ThroughputMops, r.Latency, r.ReadLatency, r.WriteLatency,
-		r.MakespanMs, r.MaxClock, r.RemoteOps, r.DirectEntries, extra, tracePart, tunPart)
+		r.MakespanMs, r.MaxClock, r.RemoteOps, r.DirectEntries, extra, tracePart, tunPart, faultPart)
 }
 
 // summarize assembles a Report from the raw per-rank samples in b. The

@@ -46,6 +46,7 @@ import (
 	"io"
 	"strconv"
 
+	"rmalocks/internal/fault"
 	"rmalocks/internal/locks"
 	"rmalocks/internal/locks/dmcs"
 	"rmalocks/internal/locks/fompi"
@@ -107,6 +108,13 @@ type MachineSpec struct {
 	// Trace, when non-nil, captures the run's deterministic event
 	// stream (see NewTraceSink); tracing never changes the simulation.
 	Trace *TraceSink
+	// Faults, when non-nil, perturbs the run with the deterministic
+	// fault-injection layer (see ParseFaults and DESIGN.md, "Fault
+	// injection & graceful degradation"): RTT jitter, congestion
+	// windows, straggler ranks and stall intervals, all a pure function
+	// of (Seed, Faults.Seed, rank, event index), so faulted runs stay
+	// byte-identical across engines.
+	Faults *FaultProfile
 }
 
 // NewMachine builds a simulated machine from spec using the calibrated
@@ -145,7 +153,7 @@ func NewMachineErr(spec MachineSpec) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rmalocks: invalid MachineSpec: %w", err)
 	}
-	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit, Engine: spec.Engine, Trace: spec.Trace}), nil
+	return rma.NewMachineConfig(topo, rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit, Engine: spec.Engine, Trace: spec.Trace, Faults: spec.Faults}), nil
 }
 
 // NewMachineForProcs builds a two-level machine hosting exactly p
@@ -182,7 +190,24 @@ const (
 	CapMutex = scheme.CapMutex
 	// CapRW marks schemes with genuine reader-writer semantics.
 	CapRW = scheme.CapRW
+	// CapTimeout marks schemes supporting bounded (timeout) acquires;
+	// MCS-queue schemes lack it — a queued node cannot be unlinked — and
+	// are typed-rejected (CapabilityError) when a fault profile requests
+	// acquire timeouts.
+	CapTimeout = scheme.CapTimeout
 )
+
+// CapabilityError reports a scheme asked for a capability it lacks
+// (e.g. acquire timeouts on an MCS-queue lock); match with errors.As.
+type CapabilityError = scheme.CapabilityError
+
+// TryRWMutex is the bounded-acquire view of a lock: TryAcquire*For
+// either enter within the virtual-time budget or abandon cleanly.
+type TryRWMutex = locks.TryRWMutex
+
+// AsTimedLock resolves a registry lock's bounded-acquire view; ok is
+// false when the scheme lacks CapTimeout.
+func AsTimedLock(l Lock) (TryRWMutex, bool) { return scheme.AsTimed(l) }
 
 // TuneOption sets tunables for NewLock.
 type TuneOption func(Tunables)
@@ -333,10 +358,31 @@ func NewZipfProfile(numLocks int, s, fw float64) *workload.Zipf {
 }
 
 // RunWorkload executes one workload benchmark and returns its report.
-// Results are a deterministic function of (spec, spec.Seed).
+// Results are a deterministic function of (spec, spec.Seed) — including
+// under fault injection (spec.Faults).
 func RunWorkload(spec WorkloadSpec) (WorkloadReport, error) {
 	return workload.Run(spec)
 }
+
+// Fault injection (internal/fault, see DESIGN.md "Fault injection &
+// graceful degradation"): a seeded deterministic perturbation layer —
+// RTT jitter, link congestion windows, straggler ranks, stall
+// intervals — plus bounded-timeout acquires with capped exponential
+// backoff for CapTimeout schemes. The fault schedule is a pure
+// function of (machine seed, profile seed, rank, per-rank event
+// index), so faulted runs stay byte-identical across all engines.
+type FaultProfile = fault.Profile
+
+// ParseFaults parses the workbench fault grammar, e.g.
+// "jitter=0.2,stragglers=4x1%,stall=50us@0.01,timeout=200us"; unknown
+// keys and malformed values yield typed errors (fault.UnknownKeyError,
+// fault.ValueError).
+func ParseFaults(spec string) (*FaultProfile, error) { return fault.Parse(spec) }
+
+// ErrRetriesExhausted is the typed abort sentinel a bounded-acquire
+// run fails with when a rank exhausts its retry budget under
+// onexhaust=abort; match with errors.Is on RunWorkload's error.
+var ErrRetriesExhausted = workload.ErrRetriesExhausted
 
 // Sweep engine (internal/sweep, see DESIGN.md "The sweep engine"):
 // scheme × workload × profile × P grids executed host-parallel on a
@@ -392,6 +438,12 @@ func LoadSweep(path string) (SweepRunFile, error) { return sweep.Load(path) }
 func CompareSweeps(base, cur []SweepCellResult) []SweepDelta {
 	return sweep.Compare(base, cur)
 }
+
+// ApplySweepDegradation joins each faulted cell of a fault-axis sweep
+// (SweepGrid.Faults) to its fault-free sibling and derives graceful-
+// degradation metrics in place: tail-latency inflation (p99_infl,
+// p999_infl) and, for traced grids, the Jain fairness delta.
+func ApplySweepDegradation(results []SweepCellResult) { sweep.ApplyDegradation(results) }
 
 // Tracing & analysis (internal/trace, see DESIGN.md "Tracing &
 // analysis"): deterministic event capture of scheduler handoffs, RMA
