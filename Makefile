@@ -12,7 +12,7 @@ FAULT_FLAGS = -profiles uniform,zipf -ps 16,64 \
 	-faults 'jitter=0.2,stragglers=4x5%,stall=50us@0.02' \
 	-faults 'stall=100us@0.05,timeout=200us'
 
-.PHONY: build test race bench bench-trajectory bench-smoke million-smoke scale grid sweep compare faults faults-compare trace paramspace faulttour clean
+.PHONY: build test race bench bench-trajectory bench-smoke million-smoke scale grid sweep compare faults faults-compare trace obs-smoke paramspace faulttour clean
 
 build:
 	$(GO) build ./...
@@ -113,6 +113,38 @@ trace:
 	$(GO) run ./cmd/workbench -schemes RMA-MCS,D-MCS -workloads empty \
 		-profiles uniform -p 32 -iters 40 -fw 1 -trace results/trace.json
 	$(GO) run ./cmd/traceview results/trace_*.json
+
+# Observability smoke: run a psim sweep with the HTTP plane listening,
+# scrape /metrics and /progress mid-run, then check the merged snapshot
+# side channel reports the gate serial fraction — ROADMAP item 2's
+# Amdahl ceiling as a concrete measured number. CI's obs-smoke job runs
+# this plus the fast-path allocation guard.
+OBS_ADDR = 127.0.0.1:9137
+
+obs-smoke:
+	@mkdir -p results
+	$(GO) build -o results/workbench-obs ./cmd/workbench
+	@set -e; \
+	./results/workbench-obs -schemes RMA-MCS,foMPI-Spin -workloads empty \
+		-profiles uniform,zipf -ps 32,64 -iters 60 -engine psim \
+		-listen $(OBS_ADDR) -metrics-out results/obs-metrics.json \
+		> results/obs-smoke.txt 2> results/obs-smoke.err & \
+	pid=$$!; ok=0; \
+	for i in $$(seq 1 100); do \
+		if curl -sf http://$(OBS_ADDR)/metrics -o results/obs-scrape.prom; then ok=1; break; fi; \
+		sleep 0.05; \
+	done; \
+	if [ $$ok -ne 1 ]; then \
+		echo "obs-smoke: /metrics never came up"; \
+		kill $$pid 2>/dev/null; cat results/obs-smoke.err; exit 1; \
+	fi; \
+	curl -sf http://$(OBS_ADDR)/progress -o results/obs-progress.ndjson; \
+	wait $$pid
+	@cat results/obs-smoke.txt
+	grep -q '^psim_gate_serial_fraction ' results/obs-scrape.prom
+	grep -q '"summary":true' results/obs-progress.ndjson
+	grep -q 'psim_gate_serial_fraction' results/obs-metrics.json
+	@echo "obs-smoke: OK —$$(grep 'psim_gate_serial_fraction' results/obs-metrics.json | tr -d ',')"
 
 # The paper's parameter-space slice (scheme registry + tunables axis);
 # CI runs the -smoke variant.

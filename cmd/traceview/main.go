@@ -93,6 +93,7 @@ func view(path string, top int) error {
 		d  int
 	}
 	var depth []edge
+	perLock := map[int][]float64{}
 	ops := map[string]int64{}
 
 	for _, e := range f.TraceEvents {
@@ -108,6 +109,9 @@ func view(path string, top int) error {
 			waits = append(waits, e.Dur)
 			if e.Tid >= 0 && e.Tid < p {
 				perRank[e.Tid] = append(perRank[e.Tid], e.Dur)
+			}
+			if l, ok := e.Args["lock"].(float64); ok {
+				perLock[int(l)] = append(perLock[int(l)], e.Dur)
 			}
 			depth = append(depth, edge{e.Ts, 1}, edge{e.Ts + e.Dur, -1})
 		case e.Ph == "i" && e.Cat == "rma":
@@ -171,16 +175,55 @@ func view(path string, top int) error {
 			}
 		}
 		sort.Slice(tails, func(i, j int) bool { return tails[i].s.P99 > tails[j].s.P99 })
-		if top > len(tails) {
-			top = len(tails)
+		n := top
+		if n > len(tails) {
+			n = len(tails)
 		}
-		if top > 0 {
+		if n > 0 {
 			fmt.Printf("slowest ranks by P99 wait:")
-			for _, t := range tails[:top] {
+			for _, t := range tails[:n] {
 				fmt.Printf("  r%d: p99=%.2fµs (n=%d)", t.rank, t.s.P99, t.s.N)
 			}
 			fmt.Println()
 		}
+	}
+	if len(perLock) > 0 && top > 0 {
+		// Hottest locks by cumulative wait: where the contention budget
+		// actually went, with the worst per-rank tail behind each lock.
+		type lockWait struct {
+			id    int
+			total float64
+			s     stats.Summary
+		}
+		hot := make([]lockWait, 0, len(perLock))
+		for id, ws := range perLock {
+			var total float64
+			for _, w := range ws {
+				total += w
+			}
+			hot = append(hot, lockWait{id: id, total: total, s: stats.Summarize(ws)})
+		}
+		sort.Slice(hot, func(i, j int) bool {
+			if hot[i].total != hot[j].total {
+				return hot[i].total > hot[j].total
+			}
+			return hot[i].id < hot[j].id
+		})
+		n := top
+		if n > len(hot) {
+			n = len(hot)
+		}
+		tb := &stats.Table{
+			Title:   fmt.Sprintf("hottest locks by cumulative wait (top %d of %d)", n, len(hot)),
+			Columns: []string{"Lock", "Waits", "Total[ms]", "Mean[us]", "P95[us]", "P99[us]", "Max[us]"},
+		}
+		for _, lw := range hot[:n] {
+			tb.AddRow(fmt.Sprintf("L%d", lw.id), fmt.Sprint(lw.s.N),
+				fmt.Sprintf("%.3f", lw.total/1e3), fmt.Sprintf("%.2f", lw.s.Mean),
+				fmt.Sprintf("%.2f", lw.s.P95), fmt.Sprintf("%.2f", lw.s.P99),
+				fmt.Sprintf("%.2f", lw.s.Max))
+		}
+		fmt.Println(tb.String())
 	}
 	if len(ops) > 0 {
 		names := make([]string, 0, len(ops))

@@ -52,6 +52,8 @@ type runOpts struct {
 	tol              float64
 	cpuprof, memprof string
 	trace, tracecsv  string
+	listen           string
+	metricsOut       string
 }
 
 func main() {
@@ -79,6 +81,8 @@ func main() {
 		memprof   = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 		traceOut  = flag.String("trace", "", "capture event traces and export Chrome trace-event JSON (Perfetto-loadable; summarize with traceview); multi-cell grids get one file per cell")
 		tracecsv  = flag.String("tracecsv", "", "capture event traces and export raw event CSV; multi-cell grids get one file per cell")
+		listen    = flag.String("listen", "", "serve the observability plane on this address (e.g. :0 or 127.0.0.1:9137): /metrics (Prometheus), /progress (NDJSON; ?follow=1 streams), /debug/pprof")
+		metricsOut = flag.String("metrics-out", "", "write the merged post-run metrics snapshot (counters, phase spans, psim gate metrics) as JSON to this file — a side channel, never part of reports or fingerprints")
 	)
 	var tunes tuneAxes
 	flag.Var(&tunes, "tune", "tunables axis KEY=v1,v2,... (repeatable, e.g. -tune TR=250,500,1000 -tune TL2=16,32); cross-product applied to schemes accepting KEY")
@@ -141,6 +145,7 @@ func main() {
 		out: *out, baseline: *baseline, tol: *tol,
 		cpuprof: *cpuprof, memprof: *memprof,
 		trace: *traceOut, tracecsv: *tracecsv,
+		listen: *listen, metricsOut: *metricsOut,
 	}
 	if opts.trace != "" || opts.tracecsv != "" {
 		// Tracing a sweep fills the per-cell Jain/locality columns and
@@ -196,17 +201,29 @@ func run(opts runOpts) int {
 		title += " faults[" + axes.String() + "]"
 	}
 
+	var plane *obsPlane
+	if opts.listen != "" || opts.metricsOut != "" {
+		var err error
+		if plane, err = newObsPlane(opts.listen, title); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer plane.close()
+		grid.Obs = plane.grid()
+	}
+
 	start := time.Now()
 	cells, err := grid.Cells()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	results, err := sweep.Run(cells, sweep.Options{Workers: opts.jobs, Check: opts.check})
+	results, err := sweep.Run(cells, sweep.Options{Workers: opts.jobs, Check: opts.check, Progress: plane.progress()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	mergeSpan := plane.span("merge")
 	if len(grid.Faults) > 0 {
 		// Join each faulted cell to its fault-free sibling and derive the
 		// degradation metrics before anything renders or persists.
@@ -231,6 +248,13 @@ func run(opts runOpts) int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[baseline saved to %s]\n", opts.out)
+	}
+	mergeSpan.End()
+	if opts.metricsOut != "" {
+		if err := plane.writeMetrics(opts.metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 	if opts.trace != "" {
 		if err := exportTraces(opts.trace, results, grid.ProcsPerNode, true); err != nil {

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rmalocks/internal/obs"
+	"rmalocks/internal/sweep"
+)
+
+// obsPlane bundles the workbench's observability wiring: the shared
+// metric registry handed to every cell (sweep.Grid.Obs), the sweep
+// progress tracker, and — with -listen — the HTTP server exposing both
+// (/metrics, /progress, /debug/pprof). Nil when neither -listen nor
+// -metrics-out was given, which keeps the whole subsystem at one nil
+// check and the sweep byte-identical to an uninstrumented run.
+type obsPlane struct {
+	metrics *obs.Metrics
+	prog    *obs.SweepProgress
+	srv     *obs.Server
+}
+
+// newObsPlane builds the plane and, when listen is non-empty, binds the
+// HTTP endpoint (reporting the resolved address on stderr, so -listen :0
+// is scriptable).
+func newObsPlane(listen, title string) (*obsPlane, error) {
+	o := &obsPlane{
+		metrics: obs.NewMetrics(),
+		prog:    obs.NewSweepProgress(title),
+	}
+	if listen != "" {
+		o.srv = obs.NewServer(o.metrics.Registry, o.prog)
+		if err := o.srv.Listen(listen); err != nil {
+			return nil, fmt.Errorf("workbench: -listen %s: %w", listen, err)
+		}
+		fmt.Fprintf(os.Stderr, "[obs: listening on http://%s (/metrics /progress /debug/pprof)]\n", o.srv.Addr())
+	}
+	return o, nil
+}
+
+// progress adapts the tracker to sweep.Options.Progress, avoiding the
+// typed-nil-in-interface trap when the plane is disabled.
+func (o *obsPlane) progress() sweep.Progress {
+	if o == nil {
+		return nil
+	}
+	return o.prog
+}
+
+// grid returns the metrics bundle for sweep.Grid.Obs (nil when off).
+func (o *obsPlane) grid() *obs.Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.metrics
+}
+
+// span opens a phase span (no-op when the plane is off).
+func (o *obsPlane) span(name string) obs.Span {
+	if o == nil {
+		return obs.Span{}
+	}
+	return o.metrics.Span(name)
+}
+
+// writeMetrics persists the merged post-run snapshot — counters, gauges
+// (including psim_gate_serial_fraction), histograms and the phase
+// table — as indented JSON: the side-channel consumed by
+// internal/adaptive and the bench trajectory, deliberately NOT part of
+// any Report or fingerprint.
+func (o *obsPlane) writeMetrics(path string) error {
+	if o == nil {
+		return nil
+	}
+	snap := o.metrics.Registry.Snapshot()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("workbench: -metrics-out: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "[obs: metrics snapshot written to %s]\n", path)
+	return nil
+}
+
+// close tears the HTTP endpoint down (no-op when off).
+func (o *obsPlane) close() {
+	if o != nil && o.srv != nil {
+		o.srv.Close()
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+// GateMetrics instruments the conservative gate of the parallel engine
+// (internal/sim/psim) — the one global serial section of a psim run.
+// ROADMAP item 2 asks to "profile and shrink the gate's serial
+// fraction"; these metrics turn that fraction from a guess into a
+// measured number:
+//
+//   - Hold accumulates wall-clock nanoseconds spent holding the gate
+//     mutex (measured inside the lock, so it is pure hold time, not
+//     wait time), and Wall accumulates the wall-clock duration of the
+//     psim runs that fed it. SerialFraction = Hold / Wall is the
+//     Amdahl ceiling of the engine: with N cores the best possible
+//     speedup is 1 / (serial + (1-serial)/N).
+//   - Lockings counts gate-mutex acquisitions and Grants counts
+//     requests granted, so Hold/Lockings is the mean critical-section
+//     length and Grants/Lockings the grant yield per lock trip.
+//   - ReqDepth and ConsDepth sample the grant-queue (request heap) and
+//     constraint-heap occupancy at every pump, the queues a per-node
+//     sharding of the gate would split.
+//   - Slack histograms the lookahead slack at grant time in *virtual*
+//     nanoseconds: how far below the earliest conservative constraint
+//     the granted request was. Large slacks mean the lookahead bounds
+//     are loose enough that batched grant wakeups would win.
+//
+// All fields are registry-backed atomics: psim updates them under its
+// own gate mutex (or not at all — a nil *GateMetrics costs each site
+// one nil check), and /metrics scrapes read them mid-run without
+// touching the simulation.
+type GateMetrics struct {
+	Hold     *Counter
+	Wall     *Counter
+	Lockings *Counter
+	Grants   *Counter
+	ReqDepth *Histogram
+	ConsDepth *Histogram
+	Slack    *Histogram
+}
+
+// NewGateMetrics registers the psim gate instruments on r (nil r yields
+// nil, disabling every site) and a derived psim_gate_serial_fraction
+// gauge computed at scrape time.
+func NewGateMetrics(r *Registry) *GateMetrics {
+	if r == nil {
+		return nil
+	}
+	g := &GateMetrics{
+		Hold:     r.Counter("psim_gate_hold_ns_total", "Wall-clock nanoseconds the gate mutex was held."),
+		Wall:     r.Counter("psim_run_wall_ns_total", "Wall-clock nanoseconds spent inside psim engine runs."),
+		Lockings: r.Counter("psim_gate_lockings_total", "Gate-mutex acquisitions."),
+		Grants:   r.Counter("psim_gate_grants_total", "Access requests granted by the gate."),
+		ReqDepth: r.Histogram("psim_gate_grant_queue_depth", "Request-heap depth sampled at each gate pump.",
+			ExpBuckets(1, 2, 13), 1), // 1 .. 4096
+		ConsDepth: r.Histogram("psim_gate_constraint_heap_entries", "Constraint-heap occupancy sampled at each gate pump.",
+			ExpBuckets(1, 2, 13), 1),
+		Slack: r.Histogram("psim_gate_lookahead_slack_ns", "Virtual-ns slack between a granted request and the earliest conservative constraint.",
+			ExpBuckets(64, 4, 12), 1), // 64ns .. ~268ms virtual
+	}
+	r.GaugeFunc("psim_gate_serial_fraction",
+		"Share of psim run wall-clock spent holding the gate mutex (the engine's measured serial fraction).",
+		g.SerialFraction)
+	return g
+}
+
+// SerialFraction returns gate-mutex hold time as a share of psim run
+// wall-clock time — the measured serial fraction of the conservative
+// engine. 0 until a psim run has recorded wall time (0 on nil).
+func (g *GateMetrics) SerialFraction() float64 {
+	if g == nil {
+		return 0
+	}
+	wall := g.Wall.Value()
+	if wall <= 0 {
+		return 0
+	}
+	return float64(g.Hold.Value()) / float64(wall)
+}
+
+// HoldValue returns the cumulative gate-mutex hold nanoseconds (0 on
+// nil) — harness phase spans read it before/after a run to attribute
+// serial-section time to the run phase.
+func (g *GateMetrics) HoldValue() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.Hold.Value()
+}
+
+// Metrics bundles the per-run observability instruments threaded
+// through the stack: the metric registry and the psim gate metrics
+// registered on it. A nil *Metrics disables observability at one nil
+// check per site; sweep grids share one Metrics across all cells
+// (every instrument is concurrency-safe and merge-by-sum).
+type Metrics struct {
+	Registry *Registry
+	Gate     *GateMetrics
+}
+
+// NewMetrics builds a fresh registry with the gate instruments
+// registered.
+func NewMetrics() *Metrics {
+	r := NewRegistry()
+	return &Metrics{Registry: r, Gate: NewGateMetrics(r)}
+}
+
+// Span opens a phase span (no-op span when m is nil).
+func (m *Metrics) Span(name string) Span {
+	if m == nil {
+		return Span{}
+	}
+	return m.Registry.Span(name)
+}
+
+// GateMetrics returns the gate instruments (nil when m is nil).
+func (m *Metrics) GateMetrics() *GateMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.Gate
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Cell lifecycle states reported by /progress.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// SweepProgress tracks per-cell sweep status for the /progress
+// endpoint. It implements sweep.Progress (Start / CellRunning /
+// CellDone) without importing package sweep, mirroring how the trace
+// sink plugs into the engines. All methods are goroutine-safe: sweep
+// workers update concurrently with HTTP readers, and nothing here can
+// reach back into a simulation — progress is observational only.
+type SweepProgress struct {
+	mu      sync.Mutex
+	started time.Time
+	title   string
+	cells   []cellStat
+	done    int
+	running int
+	// ver increments on every state change; the follow stream uses it
+	// to ship only transitions.
+	ver uint64
+}
+
+type cellStat struct {
+	key         string
+	state       string
+	fingerprint string
+	err         string
+	startedAt   time.Time
+	elapsed     time.Duration
+}
+
+// NewSweepProgress creates an empty tracker; Start (called by
+// sweep.Run) populates it.
+func NewSweepProgress(title string) *SweepProgress {
+	return &SweepProgress{title: title}
+}
+
+// Start registers the sweep's cells in canonical order, all queued.
+// Implements sweep.Progress.
+func (p *SweepProgress) Start(keys []string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.started = time.Now()
+	p.cells = make([]cellStat, len(keys))
+	for i, k := range keys {
+		p.cells[i] = cellStat{key: k, state: StateQueued}
+	}
+	p.done, p.running = 0, 0
+	p.ver++
+}
+
+// CellRunning marks cell i as executing. Implements sweep.Progress.
+func (p *SweepProgress) CellRunning(i int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i < 0 || i >= len(p.cells) {
+		return
+	}
+	p.cells[i].state = StateRunning
+	p.cells[i].startedAt = time.Now()
+	p.running++
+	p.ver++
+}
+
+// CellDone records cell i's outcome: its report fingerprint on
+// success, the error otherwise. Implements sweep.Progress.
+func (p *SweepProgress) CellDone(i int, fingerprint string, err error) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i < 0 || i >= len(p.cells) {
+		return
+	}
+	c := &p.cells[i]
+	if c.state == StateRunning {
+		p.running--
+	}
+	c.state = StateDone
+	c.fingerprint = fingerprint
+	if err != nil {
+		c.state = StateFailed
+		c.err = err.Error()
+	}
+	if !c.startedAt.IsZero() {
+		c.elapsed = time.Since(c.startedAt)
+	}
+	p.done++
+	p.ver++
+}
+
+// CellLine is one cell's status, one NDJSON line of /progress.
+type CellLine struct {
+	Cell        string  `json:"cell"`
+	State       string  `json:"state"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	ElapsedMs   float64 `json:"elapsed_ms,omitempty"`
+}
+
+// SummaryLine is the trailing NDJSON line of /progress: aggregate
+// counts plus an ETA extrapolated from the completed-cell rate.
+type SummaryLine struct {
+	Summary   bool    `json:"summary"`
+	Title     string  `json:"title,omitempty"`
+	Total     int     `json:"total"`
+	Done      int     `json:"done"`
+	Running   int     `json:"running"`
+	Queued    int     `json:"queued"`
+	Failed    int     `json:"failed"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// EtaMs extrapolates time to completion from the mean completed-cell
+	// rate; -1 until the first cell completes.
+	EtaMs float64 `json:"eta_ms"`
+}
+
+// snapshotLocked renders the current state. Caller holds p.mu.
+func (p *SweepProgress) snapshotLocked() ([]CellLine, SummaryLine) {
+	lines := make([]CellLine, len(p.cells))
+	failed := 0
+	for i, c := range p.cells {
+		lines[i] = CellLine{Cell: c.key, State: c.state, Fingerprint: c.fingerprint, Error: c.err}
+		switch c.state {
+		case StateRunning:
+			lines[i].ElapsedMs = float64(time.Since(c.startedAt)) / 1e6
+		case StateDone, StateFailed:
+			lines[i].ElapsedMs = float64(c.elapsed) / 1e6
+		}
+		if c.state == StateFailed {
+			failed++
+		}
+	}
+	elapsed := time.Duration(0)
+	if !p.started.IsZero() {
+		elapsed = time.Since(p.started)
+	}
+	sum := SummaryLine{
+		Summary: true, Title: p.title,
+		Total: len(p.cells), Done: p.done, Running: p.running,
+		Queued: len(p.cells) - p.done - p.running, Failed: failed,
+		ElapsedMs: float64(elapsed) / 1e6, EtaMs: -1,
+	}
+	if p.done > 0 && p.done < len(p.cells) {
+		perCell := elapsed / time.Duration(p.done)
+		sum.EtaMs = float64(perCell*time.Duration(len(p.cells)-p.done)) / 1e6
+	} else if p.done == len(p.cells) {
+		sum.EtaMs = 0
+	}
+	return lines, sum
+}
+
+// version returns the state-change counter.
+func (p *SweepProgress) version() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ver
+}
+
+// finished reports whether every cell reached a terminal state.
+func (p *SweepProgress) finished() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cells) > 0 && p.done == len(p.cells)
+}
+
+// WriteNDJSON writes the current snapshot as NDJSON: one CellLine per
+// cell in canonical order, then one SummaryLine.
+func (p *SweepProgress) WriteNDJSON(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	lines, sum := p.snapshotLocked()
+	p.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, l := range lines {
+		if err := enc.Encode(l); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(sum)
+}
+
+// flusher lets the streaming writer push each update through an
+// http.ResponseWriter's buffer.
+type flusher interface{ Flush() }
+
+// StreamNDJSON writes the snapshot like WriteNDJSON and then keeps
+// streaming: on every state change (polled at the given interval) it
+// emits the transitioned cells and a fresh SummaryLine, until the sweep
+// finishes or the writer errors (client gone). done receives an
+// optional external stop signal (may be nil).
+func (p *SweepProgress) StreamNDJSON(w io.Writer, interval time.Duration, done <-chan struct{}) error {
+	if p == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	enc := json.NewEncoder(w)
+	p.mu.Lock()
+	lines, sum := p.snapshotLocked()
+	last := make([]string, len(p.cells))
+	for i, c := range p.cells {
+		last[i] = c.state
+	}
+	ver := p.ver
+	p.mu.Unlock()
+	for _, l := range lines {
+		if err := enc.Encode(l); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(sum); err != nil {
+		return err
+	}
+	if f, ok := w.(flusher); ok {
+		f.Flush()
+	}
+	for !p.finished() {
+		select {
+		case <-done:
+			return nil
+		case <-time.After(interval):
+		}
+		if p.version() == ver {
+			continue
+		}
+		p.mu.Lock()
+		lines, sum = p.snapshotLocked()
+		changed := lines[:0:0]
+		for i := range p.cells {
+			if p.cells[i].state != last[i] {
+				last[i] = p.cells[i].state
+				changed = append(changed, lines[i])
+			}
+		}
+		ver = p.ver
+		p.mu.Unlock()
+		for _, l := range changed {
+			if err := enc.Encode(l); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+		if f, ok := w.(flusher); ok {
+			f.Flush()
+		}
+	}
+	return nil
+}

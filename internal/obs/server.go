@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Server is the HTTP observability plane (`workbench -listen`): the
+// first slice of cmd/sweepd. It serves
+//
+//	/metrics         Prometheus text exposition of the registry
+//	/progress        per-cell sweep status as NDJSON (?follow=1 streams
+//	                 state transitions until the sweep finishes)
+//	/debug/pprof/*   the standard pprof handlers on this mux
+//
+// All endpoints are read-only: a scrape never blocks or perturbs a
+// running simulation (every metric cell is an atomic; progress state is
+// under its own small mutex that sweep workers touch only at cell
+// boundaries).
+type Server struct {
+	reg  *Registry
+	prog *SweepProgress
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// NewServer builds an unstarted server over the given registry and
+// progress tracker (either may be nil; the endpoints degrade to empty
+// expositions).
+func NewServer(reg *Registry, prog *SweepProgress) *Server {
+	s := &Server{reg: reg, prog: prog}
+	s.srv = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Handler returns the observability mux. Exposed separately so tests
+// can drive it with httptest without opening a socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	// net/http/pprof registers on DefaultServeMux at import; wire the
+	// same handlers onto our private mux instead.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+// Listen binds addr (e.g. ":0", "127.0.0.1:9137") and serves in a
+// background goroutine. Addr reports the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil || s.ln == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // client gone
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.prog == nil {
+		fmt.Fprintln(w, `{"summary":true,"total":0,"done":0,"running":0,"queued":0,"failed":0,"elapsed_ms":0,"eta_ms":-1}`)
+		return
+	}
+	if follow, _ := strconv.ParseBool(r.URL.Query().Get("follow")); follow {
+		interval := 250 * time.Millisecond
+		if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil && ms > 0 {
+			interval = time.Duration(ms) * time.Millisecond
+		}
+		s.prog.StreamNDJSON(w, interval, r.Context().Done()) //nolint:errcheck // client gone
+		return
+	}
+	s.prog.WriteNDJSON(w) //nolint:errcheck // client gone
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "rmalocks observability plane\n\n/metrics\n/progress (?follow=1)\n/debug/pprof/\n")
+}

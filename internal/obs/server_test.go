@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *SweepProgress, *Registry) {
+	t.Helper()
+	r := NewRegistry()
+	p := NewSweepProgress("srv test")
+	return NewServer(r, p), p, r
+}
+
+// TestMetricsEndpoint checks content type and exposition body.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _, reg := newTestServer(t)
+	reg.Counter("hits_total", "Hits.").Add(5)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "hits_total 5") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+}
+
+// TestProgressEndpoint checks the NDJSON payload and content type.
+func TestProgressEndpoint(t *testing.T) {
+	srv, prog, _ := newTestServer(t)
+	prog.Start([]string{"cell-0", "cell-1"})
+	prog.CellRunning(0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 3 { // 2 cells + summary
+		t.Fatalf("lines = %d (%q), want 3", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], `"cell-0"`) || !strings.Contains(lines[0], `"running"`) {
+		t.Fatalf("first line = %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"summary":true`) {
+		t.Fatalf("last line = %s", lines[2])
+	}
+}
+
+// TestProgressFollow streams with ?follow=1 while cells complete and
+// checks the stream ends once the sweep finishes, having carried the
+// transitions.
+func TestProgressFollow(t *testing.T) {
+	srv, prog, _ := newTestServer(t)
+	prog.Start([]string{"c0", "c1"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		prog.CellRunning(0)
+		prog.CellDone(0, "fp0", nil)
+		time.Sleep(20 * time.Millisecond)
+		prog.CellRunning(1)
+		prog.CellDone(1, "fp1", nil)
+	}()
+	resp, err := http.Get(ts.URL + "/progress?follow=1&interval_ms=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body) // returns only when the stream closes
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	if !strings.Contains(s, `"fp0"`) || !strings.Contains(s, `"fp1"`) {
+		t.Fatalf("stream missing completions:\n%s", s)
+	}
+	if !strings.Contains(s, `"done":2`) {
+		t.Fatalf("stream missing final summary:\n%s", s)
+	}
+}
+
+// TestPprofEndpoint checks /debug/pprof/ is wired onto the custom mux.
+func TestPprofEndpoint(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index unexpected body:\n%.200s", body)
+	}
+}
+
+// TestListenAndClose binds :0, scrapes over TCP, and shuts down.
+func TestListenAndClose(t *testing.T) {
+	srv, _, reg := newTestServer(t)
+	reg.Counter("up", "").Inc()
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("scrape over TCP:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

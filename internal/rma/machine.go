@@ -15,8 +15,10 @@ package rma
 
 import (
 	"fmt"
+	"time"
 
 	"rmalocks/internal/fault"
+	"rmalocks/internal/obs"
 	"rmalocks/internal/sim"
 	"rmalocks/internal/sim/psim"
 	"rmalocks/internal/sim/refsim"
@@ -122,6 +124,7 @@ type Machine struct {
 	sink       *trace.Sink
 	inj        *fault.Injector // nil when the fault profile perturbs nothing
 	nextLockID int
+	gate       *obs.GateMetrics
 	ran        bool
 	stats      Stats
 	shards     []Stats // per-rank stat shards (psim only; merged after the run)
@@ -162,6 +165,13 @@ type Config struct {
 	// stay byte-identical across engines; a nil profile leaves charge at
 	// one nil check.
 	Faults *fault.Profile
+	// Gate, when non-nil, receives conservative-gate instrumentation from
+	// psim runs (mutex hold time, queue depths, lookahead slack — see
+	// obs.GateMetrics) plus the run's wall-clock time, from which the
+	// gate's serial fraction is derived. Observation only: it never
+	// influences a virtual-time decision, and the sequential engines
+	// ignore it entirely.
+	Gate *obs.GateMetrics
 }
 
 // NewMachine creates a machine over the given topology with default config.
@@ -201,6 +211,7 @@ func NewMachineConfig(topo *topology.Topology, cfg Config) *Machine {
 		nocoalesce: cfg.NoCoalesce,
 		sink:       cfg.Trace,
 		inj:        fault.NewInjector(cfg.Faults, seed, topo.Procs()),
+		gate:       cfg.Gate,
 	}
 }
 
@@ -270,7 +281,7 @@ func (m *Machine) Run(body func(p *Proc)) error {
 	}
 	m.ran = true
 	m.stats = Stats{PerDistance: make([]OpCount, m.topo.MaxDistance()+1)}
-	simCfg := sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost, Trace: m.sink, ShardSize: m.topo.ProcsPerLeaf()}
+	simCfg := sim.Config{Procs: p, TimeLimit: m.limit, BarrierCost: m.bcost, Trace: m.sink, ShardSize: m.topo.ProcsPerLeaf(), Gate: m.gate}
 	if cap(m.procBuf) >= p {
 		m.procBuf = m.procBuf[:p]
 	} else {
@@ -320,7 +331,13 @@ func (m *Machine) Run(body func(p *Proc)) error {
 			m.shards[i].PerDistance = make([]OpCount, m.topo.MaxDistance()+1)
 		}
 		sched := psim.New(simCfg)
+		// Wall-clock the engine run itself (not setup or merge): the
+		// gate's serial fraction is hold time over this duration.
+		t0 := time.Now()
 		err = sched.Run(func(h *psim.Handle) { wrap(h) })
+		if m.gate != nil {
+			m.gate.Wall.Add(time.Since(t0).Nanoseconds())
+		}
 		eng = sched
 		m.mergeShards()
 	default:

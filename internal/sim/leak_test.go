@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the live goroutine count drops to at most
+// want, failing after a deadline. Process goroutines unwind
+// asynchronously after Run returns (the final barrier release or exit
+// handoff happens before the last goroutine's deferred cleanup runs),
+// so an immediate read would race with their teardown.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // finalize any park channels being collected
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d live, want <= %d\n%s",
+				n, want, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeakAfterRelease is the leak regression test of the
+// pooled scheduler core: after Run and Release — and after a second
+// scheduler reacquires the pooled core and runs again — the goroutine
+// count returns to the pre-run baseline (a leaked parked rank would
+// hold its goroutine forever).
+func TestNoGoroutineLeakAfterRelease(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		s := New(Config{Procs: 64})
+		err := s.Run(func(h *Handle) {
+			h.Advance(int64(1 + h.ID()))
+			h.Barrier() // every rank parks at least once
+			h.Advance(10)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Release() // round > 0 reacquires the pooled core
+		waitGoroutines(t, baseline)
+	}
+}
+
+// TestNoGoroutineLeakAfterAbort checks the teardown path: a time-limit
+// abort mid-run must still unwind every parked process goroutine.
+func TestNoGoroutineLeakAfterAbort(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(Config{Procs: 64, TimeLimit: 500})
+	err := s.Run(func(h *Handle) {
+		for {
+			h.Advance(100) // every rank eventually trips the limit
+		}
+	})
+	if err == nil {
+		t.Fatal("expected time-limit error")
+	}
+	s.Release()
+	waitGoroutines(t, baseline)
+}

@@ -1,0 +1,71 @@
+package psim_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"rmalocks/internal/sim"
+	"rmalocks/internal/sim/psim"
+)
+
+// waitGoroutines polls until the live goroutine count drops to at most
+// want (process goroutines unwind asynchronously after Run returns).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d live, want <= %d\n%s",
+				n, want, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeakAfterTeardown checks psim's normal teardown: all
+// process goroutines — including ones that blocked and were woken —
+// are gone once Run returns.
+func TestNoGoroutineLeakAfterTeardown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := psim.New(sim.Config{Procs: 32})
+	err := s.Run(func(h *psim.Handle) {
+		t0 := int64(1 + h.ID())
+		h.BeginAccess(t0, 0, 1, -1)
+		h.EndAccess(0, t0+1)
+		h.Barrier()
+		h.Advance(5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	waitGoroutines(t, baseline)
+}
+
+// TestNoGoroutineLeakAfterAbort checks the failure teardown: an abort
+// mid-run (time limit) must release every goroutine parked in the
+// grant channel, a slot turnstile or a barrier — the paths failLocked
+// and wakeSlots cover.
+func TestNoGoroutineLeakAfterAbort(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := psim.New(sim.Config{Procs: 32, TimeLimit: 1000})
+	err := s.Run(func(h *psim.Handle) {
+		if h.ID() == 0 {
+			for {
+				h.Advance(400) // rank 0 trips the limit
+			}
+		}
+		// Everyone else parks at the barrier, which can never complete.
+		h.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected time-limit error")
+	}
+	waitGoroutines(t, baseline)
+}

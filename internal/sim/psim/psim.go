@@ -39,7 +39,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"rmalocks/internal/obs"
 	"rmalocks/internal/sim"
 	"rmalocks/internal/trace"
 )
@@ -146,6 +148,13 @@ type Scheduler struct {
 	tsink     *trace.Sink
 	err       error
 	failed    atomic.Bool
+	// gm, when non-nil, receives gate instrumentation (cfg.Gate). heldAt
+	// is the wall-clock instant the gate mutex was last acquired, written
+	// and read only under mu; the accumulated hold time is the engine's
+	// measured serial section (ROADMAP item 2). A nil gm reduces every
+	// site to one pointer check — the trace.Buf pattern.
+	gm     *obs.GateMetrics
+	heldAt time.Time
 }
 
 // New creates a parallel scheduler for cfg.Procs processes. It shares
@@ -164,6 +173,7 @@ func New(cfg sim.Config) *Scheduler {
 		live:      cfg.Procs,
 		syncCost:  cfg.BarrierCost,
 		timeLimit: cfg.TimeLimit,
+		gm:        cfg.Gate,
 	}
 	for i := range s.procs {
 		p := &s.procs[i]
@@ -189,6 +199,27 @@ func New(cfg sim.Config) *Scheduler {
 // sim.Scheduler.
 func (s *Scheduler) Release() {}
 
+// lock acquires the gate mutex, stamping the acquisition instant when
+// instrumented. All gate entry points go through lock/unlock so the
+// accumulated hold time covers the entire serial section.
+func (s *Scheduler) lock() {
+	s.mu.Lock()
+	if s.gm != nil {
+		s.heldAt = time.Now()
+	}
+}
+
+// unlock accumulates the hold time of the critical section opened by
+// lock and releases the gate mutex. Timing runs inside the lock, so
+// Hold measures pure hold time (the serial section), never wait time.
+func (s *Scheduler) unlock() {
+	if s.gm != nil {
+		s.gm.Hold.Add(time.Since(s.heldAt).Nanoseconds())
+		s.gm.Lockings.Inc()
+	}
+	s.mu.Unlock()
+}
+
 // HandleFor returns a handle for process id. Handles carry no
 // per-goroutine state, so this is safe to call anywhere; it exists for
 // tests that wake one process from another's effect (package rma reaches
@@ -200,7 +231,7 @@ func (s *Scheduler) HandleFor(id int) *Handle { return &Handle{s: s, p: &s.procs
 // Unlike the sequential engines there is no token: all goroutines start
 // immediately and only synchronize at the access gate.
 func (s *Scheduler) Run(body func(h *Handle)) error {
-	s.mu.Lock()
+	s.lock()
 	for i := range s.procs {
 		p := &s.procs[i]
 		p.state = stRun
@@ -209,7 +240,7 @@ func (s *Scheduler) Run(body func(h *Handle)) error {
 		s.pushCon(0, p.id, p)
 	}
 	s.runCnt = len(s.procs)
-	s.mu.Unlock()
+	s.unlock()
 	var wg sync.WaitGroup
 	wg.Add(len(s.procs))
 	for i := range s.procs {
@@ -234,15 +265,15 @@ func (s *Scheduler) Run(body func(h *Handle)) error {
 
 // Err returns the error recorded by the simulation, if any.
 func (s *Scheduler) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	return s.err
 }
 
 // MaxClock returns the largest virtual clock reached by any process.
 func (s *Scheduler) MaxClock() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	var max int64
 	for i := range s.procs {
 		if c := s.procs[i].clock; c > max {
@@ -295,9 +326,9 @@ func (h *Handle) Advance(d int64) {
 // target's effect slot until EndAccess or BlockReleasing.
 func (h *Handle) BeginAccess(t int64, target int, minDur, minWake int64) {
 	s, p := h.s, h.p
-	s.mu.Lock()
+	s.lock()
 	if s.err != nil {
-		s.mu.Unlock()
+		s.unlock()
 		panic(abortSignal{})
 	}
 	p.state = stReq
@@ -307,7 +338,7 @@ func (h *Handle) BeginAccess(t int64, target int, minDur, minWake int64) {
 	p.target = target
 	s.pushReq(p)
 	s.pumpLocked()
-	s.mu.Unlock()
+	s.unlock()
 	h.waitGrant()
 	s.slotAcquire(target, p.ticket)
 }
@@ -318,7 +349,7 @@ func (h *Handle) BeginAccess(t int64, target int, minDur, minWake int64) {
 func (h *Handle) EndAccess(target int, bound int64) {
 	s, p := h.s, h.p
 	s.slotRelease(target)
-	s.mu.Lock()
+	s.lock()
 	p.state = stRun
 	s.opCnt--
 	s.runCnt++
@@ -326,7 +357,7 @@ func (h *Handle) EndAccess(target int, bound int64) {
 	p.conVer++
 	s.pushCon(bound, p.id, p)
 	s.pumpLocked()
-	s.mu.Unlock()
+	s.unlock()
 }
 
 // BlockReleasing parks the calling process (SpinUntil): it releases the
@@ -339,9 +370,9 @@ func (h *Handle) EndAccess(target int, bound int64) {
 // released.
 func (h *Handle) BlockReleasing(target int) {
 	s, p := h.s, h.p
-	s.mu.Lock()
+	s.lock()
 	if s.err != nil {
-		s.mu.Unlock()
+		s.unlock()
 		panic(abortSignal{})
 	}
 	p.state = stBlocked
@@ -351,7 +382,7 @@ func (h *Handle) BlockReleasing(target int) {
 		s.tsink.Buf(p.id, trace.ClassSched).Emit(trace.EvBlock, p.clock, 0, 0, 0)
 	}
 	s.pumpLocked()
-	s.mu.Unlock()
+	s.unlock()
 	s.slotRelease(target)
 	h.waitGrant()
 	s.slotAcquire(target, p.ticket)
@@ -363,13 +394,13 @@ func (h *Handle) BlockReleasing(target int) {
 // wake-ups always come from a write to that target).
 func (h *Handle) WakeAtFrom(clock int64, waker int) {
 	s, q := h.s, h.p
-	s.mu.Lock()
+	s.lock()
 	if s.err != nil {
-		s.mu.Unlock()
+		s.unlock()
 		panic(abortSignal{})
 	}
 	if q.state != stBlocked {
-		s.mu.Unlock()
+		s.unlock()
 		panic(fmt.Sprintf("psim: wake of non-blocked process %d", q.id))
 	}
 	if clock > q.clock {
@@ -383,16 +414,16 @@ func (h *Handle) WakeAtFrom(clock int64, waker int) {
 	// q.target keeps the slot it blocked on; the recheck re-reads it.
 	s.pushReq(q)
 	s.pumpLocked()
-	s.mu.Unlock()
+	s.unlock()
 }
 
 // Barrier blocks until every live process has called Barrier, then sets
 // all clocks to the maximum arrival time plus the configured cost.
 func (h *Handle) Barrier() {
 	s, p := h.s, h.p
-	s.mu.Lock()
+	s.lock()
 	if s.err != nil {
-		s.mu.Unlock()
+		s.unlock()
 		panic(abortSignal{})
 	}
 	p.state = stBarrier
@@ -406,7 +437,7 @@ func (h *Handle) Barrier() {
 		s.releaseBarrierLocked()
 	}
 	s.pumpLocked()
-	s.mu.Unlock()
+	s.unlock()
 	h.waitGrant()
 }
 
@@ -456,9 +487,9 @@ func (s *Scheduler) releaseBarrierLocked() {
 // exit removes the process from the simulation.
 func (h *Handle) exit() {
 	s, p := h.s, h.p
-	s.mu.Lock()
+	s.lock()
 	if s.err != nil {
-		s.mu.Unlock()
+		s.unlock()
 		return
 	}
 	p.state = stExited
@@ -469,7 +500,7 @@ func (h *Handle) exit() {
 		s.releaseBarrierLocked()
 	}
 	s.pumpLocked()
-	s.mu.Unlock()
+	s.unlock()
 }
 
 // pumpLocked grants every request that is now safe, in global (t, id)
@@ -482,12 +513,25 @@ func (h *Handle) exit() {
 // genuine simulation deadlock: nothing runnable, nothing requested,
 // nothing in flight, yet live processes remain parked.
 func (s *Scheduler) pumpLocked() {
+	if s.gm != nil {
+		// Sample queue occupancy at every pump: these depths are what a
+		// per-node sharding of the gate (ROADMAP item 2) would split.
+		s.gm.ReqDepth.Observe(0, int64(len(s.req)))
+		s.gm.ConsDepth.Observe(0, int64(len(s.cons)))
+	}
 	for len(s.req) > 0 {
 		p := &s.procs[s.req[0]]
-		if ct, cid, ok := s.minConLocked(); ok && !keyLess(p.reqT, p.id, ct, cid) {
+		ct, cid, ok := s.minConLocked()
+		if ok && !keyLess(p.reqT, p.id, ct, cid) {
 			break
 		}
 		s.popReq()
+		if s.gm != nil && ok {
+			// Virtual-ns slack between the granted request and the
+			// earliest conservative constraint: how far inside the
+			// lookahead window the grant was.
+			s.gm.Slack.Observe(0, ct-p.reqT)
+		}
 		s.grantLocked(p)
 	}
 	if len(s.req) == 0 && s.opCnt == 0 && s.runCnt == 0 &&
@@ -500,6 +544,9 @@ func (s *Scheduler) pumpLocked() {
 // the target slot (in grant order — this is what serializes same-target
 // effects in linearization order) and publishes its in-flight bounds.
 func (s *Scheduler) grantLocked(p *proc) {
+	if s.gm != nil {
+		s.gm.Grants.Inc()
+	}
 	p.state = stInOp
 	s.opCnt++
 	p.conVer++
@@ -554,9 +601,9 @@ func (s *Scheduler) slotRelease(target int) {
 // fail aborts the simulation with err (first error wins) and wakes every
 // parked process so its goroutine can unwind.
 func (s *Scheduler) fail(err error) {
-	s.mu.Lock()
+	s.lock()
 	s.failLocked(err)
-	s.mu.Unlock()
+	s.unlock()
 }
 
 func (s *Scheduler) failLocked(err error) {

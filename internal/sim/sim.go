@@ -52,6 +52,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"rmalocks/internal/obs"
 	"rmalocks/internal/trace"
 )
 
@@ -178,6 +179,12 @@ type Config struct {
 	// Advance fast path is byte-for-byte identical traced or not
 	// (BenchmarkAdvanceUncontended vs BenchmarkAdvanceTraced pin it).
 	Trace *trace.Sink
+	// Gate, when non-nil, receives the parallel engine's conservative-gate
+	// instrumentation (mutex hold time, grant-queue depth, lookahead
+	// slack; see obs.GateMetrics). Only psim reads it — the sequential
+	// engines have no gate, and the token-owned fast path is never
+	// instrumented (its Advance stays byte-identical with obs on or off).
+	Gate *obs.GateMetrics
 }
 
 // corePool recycles scheduler cores — the SoA state slices, the wake

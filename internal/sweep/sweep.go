@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"rmalocks/internal/fault"
+	"rmalocks/internal/obs"
 	"rmalocks/internal/scheme"
 	"rmalocks/internal/stats"
 	"rmalocks/internal/trace"
@@ -90,6 +91,26 @@ type Options struct {
 	// Check runs every cell twice and fails the sweep unless both
 	// executions produce byte-identical report fingerprints.
 	Check bool
+	// Progress, when non-nil, receives cell lifecycle notifications
+	// (obs.SweepProgress feeds the /progress endpoint). Purely
+	// observational: notifications happen outside cell execution and
+	// never influence scheduling order or results.
+	Progress Progress
+}
+
+// Progress receives sweep lifecycle notifications. Implementations must
+// be safe for concurrent calls — workers report in parallel. Declared
+// here (and satisfied by obs.SweepProgress) so the engine stays free of
+// an obs dependency in its core path.
+type Progress interface {
+	// Start announces the full cell list, in canonical order, before any
+	// cell executes.
+	Start(keys []string)
+	// CellRunning marks cell i as executing on some worker.
+	CellRunning(i int)
+	// CellDone marks cell i finished: its report fingerprint on success,
+	// the error otherwise.
+	CellDone(i int, fingerprint string, err error)
 }
 
 // ForEach runs n independent jobs on a bounded worker pool and blocks
@@ -135,24 +156,49 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // the cells' order. Output is byte-identical for any worker count:
 // result slot i belongs to cell i no matter which worker ran it.
 func Run(cells []Cell, opts Options) ([]CellResult, error) {
+	if opts.Progress != nil {
+		keys := make([]string, len(cells))
+		for i, c := range cells {
+			keys[i] = c.Key.String()
+		}
+		opts.Progress.Start(keys)
+	}
 	results := make([]CellResult, len(cells))
 	err := ForEach(len(cells), opts.Workers, func(i int) error {
 		c := cells[i]
+		if opts.Progress != nil {
+			opts.Progress.CellRunning(i)
+		}
 		rep, locks, sink, err := runOnce(c)
 		if err != nil {
-			return fmt.Errorf("sweep: cell %s: %w", c.Key, err)
+			err = fmt.Errorf("sweep: cell %s: %w", c.Key, err)
+			if opts.Progress != nil {
+				opts.Progress.CellDone(i, "", err)
+			}
+			return err
 		}
 		fp := rep.Fingerprint()
 		if opts.Check {
 			rep2, _, _, err := runOnce(c)
 			if err != nil {
-				return fmt.Errorf("sweep: cell %s (check re-run): %w", c.Key, err)
+				err = fmt.Errorf("sweep: cell %s (check re-run): %w", c.Key, err)
+				if opts.Progress != nil {
+					opts.Progress.CellDone(i, fp, err)
+				}
+				return err
 			}
 			if rep2.Fingerprint() != fp {
-				return fmt.Errorf("sweep: cell %s is NOT reproducible", c.Key)
+				err = fmt.Errorf("sweep: cell %s is NOT reproducible", c.Key)
+				if opts.Progress != nil {
+					opts.Progress.CellDone(i, fp, err)
+				}
+				return err
 			}
 		}
 		results[i] = CellResult{Key: c.Key, Locks: locks, Report: rep, Fingerprint: fp, Trace: sink}
+		if opts.Progress != nil {
+			opts.Progress.CellDone(i, fp, nil)
+		}
 		return nil
 	})
 	if err != nil {
@@ -260,6 +306,14 @@ type Grid struct {
 	// filling the per-cell Report.Fairness / Report.HandoffLocality
 	// metrics and returning the raw sinks via CellResult.Trace.
 	Trace trace.Class
+	// Obs, when non-nil, attaches the live observability instruments to
+	// every cell (see workload.Spec.Obs): phase spans, per-rank iteration
+	// counters and — on psim cells — the conservative-gate metrics. One
+	// Metrics is shared across all cells (every instrument is
+	// concurrency-safe and merge-by-sum), so /metrics shows sweep-wide
+	// totals mid-run. Observation only: with Obs on or off every report
+	// and fingerprint is byte-identical (test-enforced).
+	Obs *obs.Metrics
 }
 
 func (g Grid) fill() Grid {
@@ -461,6 +515,7 @@ func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables, 
 				FaultMetrics: faultMetrics,
 				Engine:       g.Engine,
 				MemStats:     g.MemStats,
+				Obs:          g.Obs,
 			}
 			if g.Trace != 0 {
 				spec.Trace = trace.New(g.Trace)

@@ -12,6 +12,7 @@ import (
 	"rmalocks/internal/locks/fompi"
 	"rmalocks/internal/locks/rmamcs"
 	"rmalocks/internal/locks/rmarw"
+	"rmalocks/internal/obs"
 	"rmalocks/internal/rma"
 	"rmalocks/internal/scheme"
 	"rmalocks/internal/stats"
@@ -225,6 +226,14 @@ type Spec struct {
 	// and untraced runs are byte-identical up to the trace-only report
 	// fields (differential-tested).
 	Trace *trace.Sink
+	// Obs, when non-nil, attaches live observability instruments to the
+	// run (see internal/obs): setup/run/drain phase spans, a per-rank
+	// iteration counter, and — on psim runs — the conservative-gate
+	// metrics, with the gate's mutex hold time attributed to the run
+	// phase as its serial section. Observe, never perturb: metric values
+	// never enter Report.Extra or fingerprints, so obs-on and obs-off
+	// runs are byte-identical (test-enforced), unlike MemStats.
+	Obs *obs.Metrics
 }
 
 func (s *Spec) fill() {
@@ -264,10 +273,12 @@ func (s *Spec) fill() {
 // empty CS); think time is charged after the measurement point.
 func Run(spec Spec) (Report, error) {
 	spec.fill()
+	setupSpan := spec.Obs.Span("setup")
 	topo := topology.ForProcs(spec.P, spec.ProcsPerNode)
+	gate := spec.Obs.GateMetrics()
 	cfg := rma.Config{Seed: spec.Seed, TimeLimit: spec.TimeLimit,
 		Engine: spec.Engine, NoCoalesce: spec.NoCoalesce, Trace: spec.Trace,
-		Faults: spec.Faults}
+		Faults: spec.Faults, Gate: gate}
 	if spec.Latency != nil {
 		lat := spec.Latency(topo.MaxDistance())
 		cfg.Latency = &lat
@@ -301,6 +312,17 @@ func Run(spec Spec) (Report, error) {
 	if timed != nil {
 		fc = newFaultCounters(procs)
 	}
+	// One per-rank sharded counter per measured cycle is the harness's
+	// entire hot-path cost with obs on (a nil-check no-op with it off);
+	// the scheduler's Advance fast path is never instrumented.
+	var itersDone *obs.ShardedCounter
+	if spec.Obs != nil {
+		itersDone = spec.Obs.Registry.ShardedCounter("cell_iters_done_total",
+			"Measured workload cycles completed, summed over ranks and cells.", procs)
+	}
+	setupSpan.End()
+	runSpan := spec.Obs.Span("run")
+	holdBefore := gate.HoldValue()
 
 	runErr := m.Run(func(p *rma.Proc) {
 		r := p.Rank()
@@ -360,15 +382,20 @@ func Run(spec Spec) (Report, error) {
 		}
 		for i := 0; i < spec.Iters; i++ {
 			step(i, true)
+			itersDone.Add(r, 1)
 		}
 		ends[r] = p.Now()
 		rlat[r], wlat[r] = rl, wl
 	})
+	// The run phase's serial section is the gate-mutex hold time this run
+	// added (zero on the sequential engines, which have no gate).
+	runSpan.EndSerial(gate.HoldValue() - holdBefore)
 	if runErr != nil {
 		return Report{}, fmt.Errorf("workload: %s/%s/%s P=%d: %w",
 			specScheme(spec), spec.Workload.Name(), spec.Profile.Name(), spec.P, runErr)
 	}
 
+	drainSpan := spec.Obs.Span("drain")
 	rep := summarize(spec, m, start, bufs)
 	rep.DirectEntries = directEntries(set)
 	if !spec.NoLock && spec.Make == nil && len(spec.Tunables) > 0 {
@@ -398,8 +425,15 @@ func Run(spec Spec) (Report, error) {
 		runtime.ReadMemStats(&ms)
 		rep.Extra["heap_bytes_per_rank"] = float64(ms.HeapAlloc) / float64(procs)
 		rep.Extra["sys_bytes_per_rank"] = float64(ms.Sys) / float64(procs)
+		// runtime/metrics signals (see runtimestats.go): the goroutine
+		// count read here, right after the run, is the evidence for the
+		// lazy-goroutine claim — ranks that never genuinely interleave
+		// never get a goroutine, so it stays far below P at scale.
+		rep.Extra["goroutines"] = float64(liveGoroutines())
+		rep.Extra["gc_pause_total_ns"] = float64(ms.PauseTotalNs)
 	}
 	spec.Workload.Extract(m, &rep)
+	drainSpan.End()
 	return rep, nil
 }
 

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"os"
+	"testing"
+
+	"rmalocks/internal/obs"
+	"rmalocks/internal/rma"
+)
+
+// obsSpec is the shared cell of the observe-never-perturb tests:
+// contended enough that psim exercises blocking, waking and the full
+// gate protocol.
+func obsSpec(engine string, m *obs.Metrics) Spec {
+	return Spec{
+		Scheme:  SchemeRMAMCS,
+		P:       32,
+		Iters:   20,
+		Profile: Uniform{FW: 1},
+		Engine:  engine,
+		Obs:     m,
+	}
+}
+
+// TestObsNeverPerturbs is the tentpole invariant: with observability
+// attached, every engine produces a report byte-identical (by
+// fingerprint) to its unobserved run, and no metric key leaks into
+// Report.Extra.
+func TestObsNeverPerturbs(t *testing.T) {
+	for _, engine := range []string{"", rma.EngineRef, rma.EnginePSim} {
+		name := engine
+		if name == "" {
+			name = "fast"
+		}
+		t.Run(name, func(t *testing.T) {
+			bare, err := Run(obsSpec(engine, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			observed, err := Run(obsSpec(engine, obs.NewMetrics()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := observed.Fingerprint(), bare.Fingerprint(); got != want {
+				t.Fatalf("obs-on fingerprint %s != obs-off %s", got, want)
+			}
+			for k := range observed.Extra {
+				switch k {
+				case "heap_bytes_per_rank", "sys_bytes_per_rank", "goroutines", "gc_pause_total_ns":
+					t.Fatalf("metric key %q leaked into Report.Extra", k)
+				}
+			}
+		})
+	}
+}
+
+// TestObsGateMetricsOnPSim checks a psim run actually feeds the gate
+// instruments — hold time, wall time, lockings, grants, depth samples —
+// and that the serial fraction lands in (0, 1]; on the sequential
+// engines the same instruments stay untouched (they have no gate).
+func TestObsGateMetricsOnPSim(t *testing.T) {
+	m := obs.NewMetrics()
+	if _, err := Run(obsSpec(rma.EnginePSim, m)); err != nil {
+		t.Fatal(err)
+	}
+	g := m.Gate
+	if g.Hold.Value() <= 0 || g.Wall.Value() <= 0 {
+		t.Fatalf("gate hold=%d wall=%d, want both > 0", g.Hold.Value(), g.Wall.Value())
+	}
+	if g.Lockings.Value() <= 0 || g.Grants.Value() <= 0 {
+		t.Fatalf("gate lockings=%d grants=%d, want both > 0", g.Lockings.Value(), g.Grants.Value())
+	}
+	if g.ReqDepth.Count() <= 0 || g.ConsDepth.Count() <= 0 {
+		t.Fatalf("gate depth samples req=%d cons=%d, want both > 0", g.ReqDepth.Count(), g.ConsDepth.Count())
+	}
+	f := g.SerialFraction()
+	if f <= 0 || f > 1 {
+		t.Fatalf("serial fraction = %v, want in (0, 1]", f)
+	}
+	snap := m.Registry.Snapshot()
+	run := snap.Phases["run"]
+	if run.Spans != 1 || run.SerialNs != g.Hold.Value() {
+		t.Fatalf("run phase = %+v, want 1 span with serial = hold %d", run, g.Hold.Value())
+	}
+	if snap.Phases["setup"].Spans != 1 || snap.Phases["drain"].Spans != 1 {
+		t.Fatalf("phases = %+v, want setup and drain spans", snap.Phases)
+	}
+	if got := snap.Counters["cell_iters_done_total"]; got != 32*20 {
+		t.Fatalf("cell_iters_done_total = %d, want %d", got, 32*20)
+	}
+
+	seq := obs.NewMetrics()
+	if _, err := Run(obsSpec("", seq)); err != nil {
+		t.Fatal(err)
+	}
+	if h := seq.Gate.Hold.Value(); h != 0 {
+		t.Fatalf("fast engine touched the gate: hold=%d", h)
+	}
+	if got := seq.Registry.Snapshot().Counters["cell_iters_done_total"]; got != 32*20 {
+		t.Fatalf("fast-engine iters counter = %d, want %d", got, 32*20)
+	}
+}
+
+// TestMemStatsRuntimeSignals checks the -memstats extension: the
+// runtime/metrics signals land in Extra with plausible values.
+func TestMemStatsRuntimeSignals(t *testing.T) {
+	spec := obsSpec("", nil)
+	spec.MemStats = true
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := rep.Extra["goroutines"]
+	if !ok || g < 1 {
+		t.Fatalf("Extra[goroutines] = %v (ok=%v), want >= 1", g, ok)
+	}
+	if _, ok := rep.Extra["gc_pause_total_ns"]; !ok {
+		t.Fatal("Extra[gc_pause_total_ns] missing")
+	}
+	if _, ok := rep.Extra["heap_bytes_per_rank"]; !ok {
+		t.Fatal("Extra[heap_bytes_per_rank] missing")
+	}
+}
+
+// TestLazyGoroutines asserts the lazy-goroutine claim with the new
+// runtime signal: after a P-rank single-lock run, the live goroutine
+// count in Extra["goroutines"] stays orders of magnitude below P —
+// ranks that finished released their goroutines, and ranks mostly ran
+// one after another. Default P is 2^14 to keep tier-1 fast; set
+// RMALOCKS_MILLION=1 to assert the full 2^20-rank claim (the
+// `make million-smoke` shape, ~minutes on one core).
+func TestLazyGoroutines(t *testing.T) {
+	p := 1 << 14
+	if os.Getenv("RMALOCKS_MILLION") != "" {
+		p = 1 << 20
+	}
+	rep, err := Run(Spec{
+		Scheme:   SchemeRMAMCS,
+		P:        p,
+		Iters:    1,
+		Warmup:   -1,
+		Profile:  Uniform{FW: 1},
+		MemStats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Extra["goroutines"]
+	if g <= 0 {
+		t.Fatalf("Extra[goroutines] = %v, want > 0", g)
+	}
+	if limit := float64(p) / 16; g >= limit {
+		t.Fatalf("goroutines = %v at P=%d, want < %v (lazy-goroutine claim)", g, p, limit)
+	}
+}

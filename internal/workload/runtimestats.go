@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// goroutineSample is the runtime/metrics name of the live goroutine
+// count — the scheduler-maintained figure NumGoroutine also reads, but
+// fetched through the sampling API alongside any future signals.
+const goroutineSample = "/sched/goroutines:goroutines"
+
+// liveGoroutines returns the current live goroutine count via
+// runtime/metrics, falling back to runtime.NumGoroutine if the sample
+// name is unknown to the running toolchain. With -memstats this lands
+// in Report.Extra["goroutines"]: read right after a run it bounds how
+// many rank goroutines the scheduler actually spawned, which is the
+// measurable form of the lazy-goroutine claim (a 2^20-rank uniform
+// empty run stays in the hundreds, not the millions).
+func liveGoroutines() int64 {
+	sample := []metrics.Sample{{Name: goroutineSample}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		return int64(sample[0].Value.Uint64())
+	}
+	return int64(runtime.NumGoroutine())
+}
