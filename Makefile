@@ -12,7 +12,29 @@ FAULT_FLAGS = -profiles uniform,zipf -ps 16,64 \
 	-faults 'jitter=0.2,stragglers=4x5%,stall=50us@0.02' \
 	-faults 'stall=100us@0.05,timeout=200us'
 
-.PHONY: build test race bench bench-trajectory bench-smoke million-smoke scale grid sweep compare faults faults-compare trace obs-smoke paramspace faulttour clean
+.PHONY: help build test race bench bench-trajectory bench-smoke million-smoke scale grid sweep compare faults faults-compare trace obs-smoke sweepd-smoke paramspace faulttour clean
+
+help:
+	@echo "rmalocks targets:"
+	@echo "  build / test / race    compile everything, run the test suite (+ -race)"
+	@echo "  bench / bench-smoke    benchstat-compatible benchmarks (full / CI-short)"
+	@echo "  grid                   full scheme x workload x profile grid with -check"
+	@echo "  sweep / compare        persist the perf baseline / diff a re-run against it"
+	@echo "  faults / faults-compare  same for the fault-injection degradation baseline"
+	@echo "  trace                  capture + summarize a Perfetto-loadable event trace"
+	@echo "  obs-smoke              sweep with the HTTP observability plane, scrape it"
+	@echo "  sweepd-smoke           sweep-as-a-service end-to-end: cache hits + byte-identity"
+	@echo "  million-smoke / scale  2^20-rank cell / weak-scaling study"
+	@echo "  paramspace / faulttour example tours (parameter space, degradation)"
+	@echo ""
+	@echo "Sweep service (cmd/sweepd): run sweeps remotely with a persistent"
+	@echo "content-addressed result cache — resubmitting a grid with one changed"
+	@echo "axis recomputes only the dirtied cells:"
+	@echo ""
+	@echo "  go run ./cmd/sweepd -listen 127.0.0.1:9139 -cache-dir results/cache &"
+	@echo "  go run ./cmd/workbench -submit 127.0.0.1:9139 -schemes D-MCS,RMA-RW \\"
+	@echo "      -profiles uniform,zipf -ps 16,32 -out results/remote.json"
+	@echo "  curl -s http://127.0.0.1:9139/metrics | grep sweepd_cache_"
 
 build:
 	$(GO) build ./...
@@ -145,6 +167,49 @@ obs-smoke:
 	grep -q '"summary":true' results/obs-progress.ndjson
 	grep -q 'psim_gate_serial_fraction' results/obs-metrics.json
 	@echo "obs-smoke: OK —$$(grep 'psim_gate_serial_fraction' results/obs-metrics.json | tr -d ',')"
+
+# Sweep-service smoke: start sweepd on a fresh cache, submit a 4-cell
+# grid through the workbench client, then resubmit with one changed
+# tunables axis (-tune TR=900 applies only to RMA-RW; the two d-MCS
+# cells are untouched). Asserts from /metrics that exactly the
+# unchanged cells hit the cache, and that the daemon's cold result is
+# byte-identical per cell to a direct local workbench run. The final
+# `kill` exercises graceful shutdown: the daemon must drain and exit 0.
+SWEEPD_ADDR = 127.0.0.1:9139
+SWEEPD_GRID = -schemes D-MCS,RMA-RW -workloads empty -profiles uniform,zipf \
+	-ps 16 -iters 20 -locks 4
+
+sweepd-smoke:
+	@mkdir -p results
+	$(GO) build -o results/sweepd ./cmd/sweepd
+	$(GO) build -o results/workbench-sweepd ./cmd/workbench
+	rm -rf results/sweepd-cache
+	./results/workbench-sweepd $(SWEEPD_GRID) -out results/sweepd-local.json \
+		> results/sweepd-local.txt
+	@set -e; \
+	./results/sweepd -listen $(SWEEPD_ADDR) -cache-dir results/sweepd-cache \
+		2> results/sweepd.err & \
+	pid=$$!; ok=0; \
+	for i in $$(seq 1 100); do \
+		if curl -sf http://$(SWEEPD_ADDR)/metrics -o /dev/null; then ok=1; break; fi; \
+		sleep 0.05; \
+	done; \
+	if [ $$ok -ne 1 ]; then \
+		echo "sweepd-smoke: daemon never came up"; \
+		kill $$pid 2>/dev/null; cat results/sweepd.err; exit 1; \
+	fi; \
+	./results/workbench-sweepd -submit $(SWEEPD_ADDR) $(SWEEPD_GRID) \
+		-baseline results/sweepd-local.json \
+		> results/sweepd-cold.txt 2> results/sweepd-cold.err; \
+	grep -q '\[4/4 cells byte-identical to baseline\]' results/sweepd-cold.err; \
+	./results/workbench-sweepd -submit $(SWEEPD_ADDR) $(SWEEPD_GRID) -tune TR=900 \
+		> results/sweepd-tuned.txt 2> results/sweepd-tuned.err; \
+	curl -sf http://$(SWEEPD_ADDR)/metrics -o results/sweepd-scrape.prom; \
+	kill $$pid; wait $$pid
+	grep -q '^sweepd_cache_hits_total 2$$' results/sweepd-scrape.prom
+	grep -q '^sweepd_cache_misses_total 6$$' results/sweepd-scrape.prom
+	grep -q '2 served from cache' results/sweepd-tuned.err
+	@echo "sweepd-smoke: OK — cold grid byte-identical to local run; tuned resubmit reused the 2 unchanged d-MCS cells"
 
 # The paper's parameter-space slice (scheme registry + tunables axis);
 # CI runs the -smoke variant.

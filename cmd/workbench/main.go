@@ -21,6 +21,9 @@
 //	workbench -baseline results/sweep.json  # diff against it (perf gate)
 //	workbench -schemes RMA-MCS -p 32 -trace out.json   # capture + export a trace
 //	                                        # (Perfetto-loadable; see cmd/traceview)
+//	workbench -submit http://127.0.0.1:9139 -out results/sweep.json
+//	                                        # run the grid on a sweepd daemon: streams
+//	                                        # progress, fetches the byte-stable result
 //
 // Every run is a deterministic function of the seed; -check re-runs each
 // cell and verifies the reports are byte-identical.
@@ -82,6 +85,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "capture event traces and export Chrome trace-event JSON (Perfetto-loadable; summarize with traceview); multi-cell grids get one file per cell")
 		tracecsv  = flag.String("tracecsv", "", "capture event traces and export raw event CSV; multi-cell grids get one file per cell")
 		listen    = flag.String("listen", "", "serve the observability plane on this address (e.g. :0 or 127.0.0.1:9137): /metrics (Prometheus), /progress (NDJSON; ?follow=1 streams), /debug/pprof")
+		submit    = flag.String("submit", "", "submit the grid to a sweepd daemon (e.g. http://127.0.0.1:9139) instead of computing locally: streams progress, fetches the byte-stable result (works with -out/-baseline/-csv; never falls back to a local run)")
 		metricsOut = flag.String("metrics-out", "", "write the merged post-run metrics snapshot (counters, phase spans, psim gate metrics) as JSON to this file — a side channel, never part of reports or fingerprints")
 	)
 	var tunes tuneAxes
@@ -152,9 +156,32 @@ func main() {
 		// keeps each cell's raw sink for export.
 		opts.grid.Trace = trace.ClassSemantic
 	}
+	if *submit != "" {
+		// Client mode: the daemon computes; local-only modes are
+		// rejected eagerly rather than silently ignored or run locally.
+		if err := checkSubmitFlags(opts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Exit(runSubmit(*submit, opts, gridTitle(opts.grid)))
+	}
 	// The work happens inside run so that its deferred profile writers
 	// always execute; os.Exit only fires out here, after they flushed.
 	os.Exit(run(opts))
+}
+
+// gridTitle renders the run label shared by local tables, persisted
+// baselines, and daemon submissions.
+func gridTitle(grid sweep.Grid) string {
+	title := fmt.Sprintf("Workload grid: Ps=%v ppn=%d iters=%d seed=%d fw=%g",
+		grid.Ps, grid.ProcsPerNode, grid.Iters, grid.Seed, grid.FW)
+	if axes := (tuneAxes)(grid.Tunables); len(axes) > 0 {
+		title += " tune[" + axes.String() + "]"
+	}
+	if axes := (faultAxes)(grid.Faults); len(axes) > 0 {
+		title += " faults[" + axes.String() + "]"
+	}
+	return title
 }
 
 func run(opts runOpts) int {
@@ -192,14 +219,7 @@ func run(opts runOpts) int {
 	}
 
 	grid := opts.grid
-	title := fmt.Sprintf("Workload grid: Ps=%v ppn=%d iters=%d seed=%d fw=%g",
-		grid.Ps, grid.ProcsPerNode, grid.Iters, grid.Seed, grid.FW)
-	if axes := (tuneAxes)(grid.Tunables); len(axes) > 0 {
-		title += " tune[" + axes.String() + "]"
-	}
-	if axes := (faultAxes)(grid.Faults); len(axes) > 0 {
-		title += " faults[" + axes.String() + "]"
-	}
+	title := gridTitle(grid)
 
 	var plane *obsPlane
 	if opts.listen != "" || opts.metricsOut != "" {

@@ -1,0 +1,360 @@
+// Package cache is sweepd's content-addressed result store. Entries are
+// keyed by a cell's canonical *input* encoding (sweep.Cell.Input, the
+// "cell/v1 ..." string covering every result-affecting parameter), so a
+// hit is decidable before the cell ever runs — unlike the output
+// fingerprint, which exists only after. The store is an in-memory LRU
+// with a byte budget, backed by one file per entry under a cache
+// directory: writes go through write-then-rename so a crash never
+// leaves a torn entry visible, and loads tolerate corruption by
+// skipping (and reporting) bad files rather than refusing to start.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// envelopeVersion versions the on-disk entry layout; bumping it orphans
+// (and Open skips) every older entry.
+const envelopeVersion = 1
+
+// envelope is the on-disk form of one cache entry. The input string is
+// stored verbatim so a load can verify the file really holds the entry
+// its name promises (names are sha256(input) — a renamed or truncated
+// file fails the check and is reported as corrupt, not served).
+type envelope struct {
+	V     int             `json:"v"`
+	Input string          `json:"input"`
+	Sum   string          `json:"sha256"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// entry is one resident cache entry.
+type entry struct {
+	key  string // sha256(input), also the file name stem
+	data []byte // serialized payload (what Get returns)
+	elem *list.Element
+}
+
+// LoadReport summarizes what Open found on disk.
+type LoadReport struct {
+	// Entries counts well-formed entries indexed (not necessarily
+	// resident: only the freshest fit the byte budget).
+	Entries int
+	// Loaded counts entries brought into memory within the budget.
+	Loaded int
+	// Corrupt lists files that failed validation and were skipped.
+	Corrupt []string
+}
+
+// Store is a content-addressed byte store: Get/Put by canonical input
+// string, sha256 of the input as the address. Safe for concurrent use.
+type Store struct {
+	dir    string
+	budget int64
+
+	mu      sync.Mutex
+	entries map[string]*entry // key -> entry
+	lru     *list.List        // front = most recent; values are *entry
+	bytes   int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	putErr    atomic.Int64
+}
+
+// Open opens (creating if needed) a store rooted at dir with the given
+// in-memory byte budget (<= 0 means 64 MiB). Existing entries are
+// validated and loaded freshest-first until the budget fills; malformed
+// files are skipped and listed in the report — a corrupt cache degrades
+// to recomputation, never to a failed daemon.
+func Open(dir string, budget int64) (*Store, LoadReport, error) {
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	s := &Store{
+		dir:     dir,
+		budget:  budget,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, LoadReport{}, fmt.Errorf("cache: open %s: %w", dir, err)
+	}
+	rep, err := s.load()
+	if err != nil {
+		return nil, rep, err
+	}
+	return s, rep, nil
+}
+
+// load scans dir for entry files, validates each, and admits the
+// freshest into memory within the budget. The optional index.json
+// (written by Flush) supplies the recency order; entries absent from
+// the index rank last in name order, so a cache without an index still
+// loads deterministically.
+func (s *Store) load() (LoadReport, error) {
+	var rep LoadReport
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return rep, fmt.Errorf("cache: scan %s: %w", s.dir, err)
+	}
+	rank := s.loadIndex()
+	sort.Slice(names, func(i, j int) bool {
+		ri, iok := rank[stem(names[i])]
+		rj, jok := rank[stem(names[j])]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		if filepath.Base(name) == indexName {
+			continue
+		}
+		env, err := readEnvelope(name)
+		if err != nil {
+			rep.Corrupt = append(rep.Corrupt, filepath.Base(name))
+			continue
+		}
+		rep.Entries++
+		if s.bytes+int64(len(env.Data)) > s.budget {
+			continue // over budget: stays on disk, not resident
+		}
+		e := &entry{key: env.Sum, data: env.Data}
+		e.elem = s.lru.PushBack(e) // names are sorted freshest-first
+		s.entries[e.key] = e
+		s.bytes += int64(len(e.data))
+		rep.Loaded++
+	}
+	return rep, nil
+}
+
+// readEnvelope reads and validates one entry file.
+func readEnvelope(name string) (envelope, error) {
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return envelope{}, err
+	}
+	if env.V != envelopeVersion {
+		return envelope{}, fmt.Errorf("cache: envelope version %d", env.V)
+	}
+	sum := keyOf(env.Input)
+	if env.Sum != sum || sum != stem(name) {
+		return envelope{}, errors.New("cache: address mismatch")
+	}
+	if len(env.Data) == 0 {
+		return envelope{}, errors.New("cache: empty payload")
+	}
+	return env, nil
+}
+
+func stem(name string) string {
+	return strings.TrimSuffix(filepath.Base(name), ".json")
+}
+
+// keyOf is the content address: hex sha256 of the canonical input.
+func keyOf(input string) string {
+	sum := sha256.Sum256([]byte(input))
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns the payload cached for input, pulling from disk when the
+// entry was evicted from memory but survives on disk. The returned
+// slice is shared; callers must not mutate it.
+func (s *Store) Get(input string) ([]byte, bool) {
+	key := keyOf(input)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return e.data, true
+	}
+	s.mu.Unlock()
+	// Miss in memory: an evicted (or never-admitted) entry may still be
+	// on disk. A corrupt file here is a plain miss — the caller
+	// recomputes and Put overwrites the bad entry.
+	env, err := readEnvelope(filepath.Join(s.dir, key+".json"))
+	if err != nil || env.Input != input {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.admit(key, env.Data)
+	s.hits.Add(1)
+	return env.Data, true
+}
+
+// Put stores the payload (which must be valid JSON — cell results
+// cross this boundary as their canonical encoding) for input,
+// admitting it to the in-memory LRU and persisting to disk atomically.
+// Disk errors are counted but not fatal: the in-memory entry still
+// serves this process.
+func (s *Store) Put(input string, data []byte) {
+	if input == "" || len(data) == 0 {
+		return
+	}
+	key := keyOf(input)
+	s.admit(key, data)
+	env := envelope{V: envelopeVersion, Input: input, Sum: key, Data: data}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		s.putErr.Add(1) // non-JSON payload: resident but not persisted
+		return
+	}
+	if err := writeAtomic(filepath.Join(s.dir, key+".json"), raw); err != nil {
+		s.putErr.Add(1)
+	}
+}
+
+// admit inserts (or refreshes) an in-memory entry, evicting from the
+// LRU tail to stay within budget.
+func (s *Store) admit(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e = &entry{key: key, data: data}
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+		s.bytes += int64(len(data))
+	}
+	for s.bytes > s.budget && s.lru.Len() > 1 {
+		tail := s.lru.Back()
+		ev := tail.Value.(*entry)
+		s.lru.Remove(tail)
+		delete(s.entries, ev.key)
+		s.bytes -= int64(len(ev.data))
+		s.evictions.Add(1)
+	}
+}
+
+// writeAtomic writes data via a temp file + rename so readers (and
+// crash recovery) never observe a torn entry.
+func writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(name), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), name); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+const indexName = "index.json"
+
+// loadIndex reads the recency index written by Flush; absent or
+// unreadable indexes yield an empty ranking (harmless: load falls back
+// to name order).
+func (s *Store) loadIndex() map[string]int {
+	raw, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	if json.Unmarshal(raw, &keys) != nil {
+		return nil
+	}
+	rank := make(map[string]int, len(keys))
+	for i, k := range keys {
+		rank[k] = i
+	}
+	return rank
+}
+
+// Flush persists the LRU recency order as index.json so the next Open
+// admits the most recently useful entries first. Entry payloads are
+// already on disk (Put is write-through); Flush only saves the order.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	keys := make([]string, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	s.mu.Unlock()
+	raw, err := json.Marshal(keys)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(s.dir, indexName), raw)
+}
+
+// Stats is a point-in-time view of the store's counters.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Bytes                   int64
+	Resident                int
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	bytes, resident := s.bytes, s.lru.Len()
+	s.mu.Unlock()
+	return Stats{
+		Hits: s.hits.Load(), Misses: s.misses.Load(),
+		Evictions: s.evictions.Load(), Bytes: bytes, Resident: resident,
+	}
+}
+
+// registry is the obs surface the store exposes metrics on; satisfied
+// by *obs.Registry without importing it (the trace-sink pattern:
+// low-level packages stay obs-free).
+type registry interface {
+	CounterFunc(name, help string, fn func() int64)
+	GaugeFunc(name, help string, fn func() float64)
+}
+
+// Register exposes the store's counters on an obs registry:
+// sweepd_cache_{hits,misses,evictions}_total and sweepd_cache_bytes.
+func (s *Store) Register(r registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("sweepd_cache_hits_total",
+		"Result-cache lookups served without recomputation.",
+		func() int64 { return s.hits.Load() })
+	r.CounterFunc("sweepd_cache_misses_total",
+		"Result-cache lookups that required computing the cell.",
+		func() int64 { return s.misses.Load() })
+	r.CounterFunc("sweepd_cache_evictions_total",
+		"Entries evicted from the in-memory LRU by the byte budget.",
+		func() int64 { return s.evictions.Load() })
+	r.GaugeFunc("sweepd_cache_bytes",
+		"Bytes resident in the in-memory result cache.",
+		func() float64 { return float64(s.Stats().Bytes) })
+}

@@ -1,0 +1,239 @@
+package cache_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rmalocks/internal/cache"
+	"rmalocks/internal/sweep"
+	"rmalocks/internal/workload"
+)
+
+func testGrid() sweep.Grid {
+	return sweep.Grid{
+		Schemes:   []string{workload.SchemeDMCS, workload.SchemeRMARW},
+		Workloads: []string{"empty"},
+		Profiles:  []string{"uniform", "zipf"},
+		Ps:        []int{8, 16},
+		Iters:     12,
+		FW:        0.2,
+		Locks:     4,
+	}
+}
+
+func mustCells(tb testing.TB, g sweep.Grid) []sweep.Cell {
+	tb.Helper()
+	cells, err := g.Cells()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cells
+}
+
+func runBytes(tb testing.TB, c sweep.CellCache) []byte {
+	tb.Helper()
+	results, err := sweep.Run(mustCells(tb, testGrid()), sweep.Options{Workers: 4, Cache: c})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rf := sweep.RunFile{Label: "cache-test", Cells: results}
+	path := filepath.Join(tb.TempDir(), "out.json")
+	if err := sweep.Save(path, rf); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// TestHitVsMissByteIdentity is the core guarantee: a sweep served
+// entirely from cache persists byte-identically to the cold run that
+// populated it.
+func TestHitVsMissByteIdentity(t *testing.T) {
+	store, _, err := cache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := cache.NewResultStore(store)
+
+	cold := runBytes(t, rs)
+	st := store.Stats()
+	if st.Hits != 0 {
+		t.Fatalf("cold run recorded %d hits", st.Hits)
+	}
+	if st.Misses == 0 {
+		t.Fatal("cold run recorded no misses")
+	}
+
+	warm := runBytes(t, rs)
+	st2 := store.Stats()
+	if want := int64(len(mustCells(t, testGrid()))); st2.Hits != want {
+		t.Fatalf("warm run hits = %d, want %d (every cell)", st2.Hits, want)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm (all-cached) run output differs from cold run")
+	}
+}
+
+// TestCrossProcessRoundTrip reopens the cache directory with a fresh
+// store — a new daemon process — and checks entries survive with
+// fingerprints intact.
+func TestCrossProcessRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, _, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runBytes(t, cache.NewResultStore(store))
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, rep, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 0 {
+		t.Fatalf("clean reopen reported corrupt entries: %v", rep.Corrupt)
+	}
+	if want := len(mustCells(t, testGrid())); rep.Entries != want || rep.Loaded != want {
+		t.Fatalf("reopen found %d/%d entries, want %d", rep.Loaded, rep.Entries, want)
+	}
+	warm := runBytes(t, cache.NewResultStore(store2))
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cross-process warm run output differs from cold run")
+	}
+	if st := store2.Stats(); st.Misses != 0 {
+		t.Fatalf("cross-process warm run recorded %d misses", st.Misses)
+	}
+}
+
+// TestEvictionUnderSmallBudget forces LRU eviction and checks evicted
+// entries still hit via the disk fallback.
+func TestEvictionUnderSmallBudget(t *testing.T) {
+	store, _, err := cache.Open(t.TempDir(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`"` + strings.Repeat("x", 98) + `"`) // 100-byte JSON string
+	for i := 0; i < 8; i++ {
+		store.Put(fmt.Sprintf("cell/v1 test input %d", i), payload)
+	}
+	st := store.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under a 256-byte budget with 8×100-byte entries")
+	}
+	if st.Bytes > 256 {
+		t.Fatalf("resident bytes %d exceed budget 256", st.Bytes)
+	}
+	// Every entry — evicted or resident — must still be retrievable.
+	for i := 0; i < 8; i++ {
+		data, ok := store.Get(fmt.Sprintf("cell/v1 test input %d", i))
+		if !ok {
+			t.Fatalf("entry %d lost after eviction (disk fallback failed)", i)
+		}
+		if !bytes.Equal(data, payload) {
+			t.Fatalf("entry %d payload corrupted", i)
+		}
+	}
+}
+
+// TestCorruptEntryDegradesToRecompute truncates one entry on disk: Open
+// must report (not fail on) it, and a sweep must recompute that cell
+// and heal the cache.
+func TestCorruptEntryDegradesToRecompute(t *testing.T) {
+	dir := t.TempDir()
+	store, _, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runBytes(t, cache.NewResultStore(store))
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := 0
+	for _, name := range names {
+		if filepath.Base(name) == "index.json" {
+			continue
+		}
+		if mangled == 0 {
+			if err := os.WriteFile(name, []byte(`{"v":1,"truncated`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		} else if mangled == 1 {
+			if err := os.WriteFile(name, []byte{}, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mangled++
+		if mangled == 2 {
+			break
+		}
+	}
+	if mangled != 2 {
+		t.Fatalf("expected at least 2 cache entries to mangle, got %d", mangled)
+	}
+
+	store2, rep, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatalf("Open must tolerate corrupt entries, got %v", err)
+	}
+	if len(rep.Corrupt) != 2 {
+		t.Fatalf("corrupt report = %v, want 2 entries", rep.Corrupt)
+	}
+	warm := runBytes(t, cache.NewResultStore(store2))
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("recomputed-after-corruption output differs from cold run")
+	}
+	st := store2.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (one per corrupted cell)", st.Misses)
+	}
+
+	// The recompute healed the entries: a third process sees a clean cache.
+	_, rep3, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep3.Corrupt) != 0 {
+		t.Fatalf("cache not healed after recompute: %v", rep3.Corrupt)
+	}
+}
+
+// TestAddressMismatchRejected: a valid envelope under the wrong file
+// name (e.g. copied by hand) must not be served.
+func TestAddressMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	store, _, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put("cell/v1 a", []byte(`{"x":1}`))
+	names, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(names) != 1 {
+		t.Fatalf("want 1 entry file, got %d", len(names))
+	}
+	bogus := filepath.Join(dir, strings.Repeat("ab", 32)+".json")
+	data, _ := os.ReadFile(names[0])
+	if err := os.WriteFile(bogus, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 {
+		t.Fatalf("renamed entry not flagged corrupt: %v", rep.Corrupt)
+	}
+}

@@ -1,0 +1,44 @@
+package cache
+
+import (
+	"encoding/json"
+
+	"rmalocks/internal/sweep"
+)
+
+// ResultStore adapts the byte store to sweep.CellCache: cell results
+// cross the boundary as their canonical JSON, the same encoding the
+// baseline files use, so a cached cell is byte-identical to a computed
+// one after the RunFile round-trip.
+type ResultStore struct {
+	store *Store
+}
+
+// NewResultStore wraps a byte store.
+func NewResultStore(s *Store) *ResultStore { return &ResultStore{store: s} }
+
+// Store returns the underlying byte store (metrics, Flush).
+func (r *ResultStore) Store() *Store { return r.store }
+
+// Get implements sweep.CellCache. An entry that fails to decode is a
+// miss — the cell recomputes and Put overwrites it.
+func (r *ResultStore) Get(input string) (sweep.CellResult, bool) {
+	data, ok := r.store.Get(input)
+	if !ok {
+		return sweep.CellResult{}, false
+	}
+	var res sweep.CellResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return sweep.CellResult{}, false
+	}
+	return res, true
+}
+
+// Put implements sweep.CellCache.
+func (r *ResultStore) Put(input string, res sweep.CellResult) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	r.store.Put(input, data)
+}

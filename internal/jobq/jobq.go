@@ -1,0 +1,356 @@
+// Package jobq is sweepd's job layer: grids arrive over the wire,
+// become jobs, and run on a bounded pool with per-job progress
+// tracking, cancellation, and cache-aware scheduling. The merge
+// discipline is inherited from sweep.Run — results land at their
+// canonical cell index regardless of cache state, worker count, or
+// completion order — so a job's result bytes depend only on its grid.
+package jobq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rmalocks/internal/obs"
+	"rmalocks/internal/sweep"
+)
+
+// Job lifecycle states.
+const (
+	StateQueued   = "queued"   // submitted, waiting for a job slot
+	StateRunning  = "running"  // cells executing (or resolving from cache)
+	StateDone     = "done"     // all cells terminal, result available
+	StateFailed   = "failed"   // a cell errored; partial results discarded
+	StateCanceled = "canceled" // canceled before completion
+)
+
+// ErrDraining rejects submissions during graceful shutdown.
+var ErrDraining = errors.New("jobq: daemon is draining, not accepting jobs")
+
+// UnknownJobError names a job ID with no corresponding job.
+type UnknownJobError struct{ ID string }
+
+func (e UnknownJobError) Error() string { return fmt.Sprintf("jobq: unknown job %q", e.ID) }
+
+// NotDoneError reports a result request for a job that has not (or will
+// never) become done; State tells the caller which.
+type NotDoneError struct {
+	ID    string
+	State string
+}
+
+func (e NotDoneError) Error() string {
+	return fmt.Sprintf("jobq: job %s is %s, result unavailable", e.ID, e.State)
+}
+
+// Config wires a Manager into the daemon.
+type Config struct {
+	// Workers bounds each job's cell worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// MaxJobs bounds concurrently *running* jobs (<= 0: 1); excess
+	// submissions queue in arrival order.
+	MaxJobs int
+	// Cache, when non-nil, resolves cells by content address before
+	// they are scheduled (internal/cache's ResultStore).
+	Cache sweep.CellCache
+	// Obs attaches the daemon's live instruments to every job's cells.
+	Obs *obs.Metrics
+	// Multi, when non-nil, receives each job's progress tracker for the
+	// /progress fan-in.
+	Multi *obs.MultiProgress
+}
+
+// Job is one submitted sweep. Fields are immutable after Submit except
+// state/err/results, which the job goroutine writes under mu.
+type Job struct {
+	ID    string
+	Label string
+	cells []sweep.Cell
+	// degrade applies the fault-degradation join after the sweep (set
+	// for grids with a fault axis), mirroring the workbench pipeline so
+	// daemon results match local runs byte for byte.
+	degrade bool
+	prog    *obs.SweepProgress
+
+	counts jobCounts
+
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	done       chan struct{} // closed when the job reaches a terminal state
+	// started closes once the job has claimed a run slot (or died
+	// queued); the next submission waits on it, so jobs start in
+	// submission order instead of racing for slots.
+	started chan struct{}
+	prev    *Job
+
+	mu      sync.Mutex
+	state   string
+	err     error
+	results []sweep.CellResult
+}
+
+// jobCounts mirrors the progress tracker's aggregates as atomics so
+// Status never contends with sweep workers.
+type jobCounts struct {
+	done, cached, failed atomic.Int64
+}
+
+// jobProgress fans sweep.Progress callbacks into both the job's obs
+// tracker and its atomic counters.
+type jobProgress struct{ j *Job }
+
+func (p jobProgress) Start(keys []string) { p.j.prog.Start(keys) }
+func (p jobProgress) CellRunning(i int)   { p.j.prog.CellRunning(i) }
+func (p jobProgress) CellCached(i int, fp string) {
+	p.j.counts.done.Add(1)
+	p.j.counts.cached.Add(1)
+	p.j.prog.CellCached(i, fp)
+}
+func (p jobProgress) CellDone(i int, fp string, err error) {
+	p.j.counts.done.Add(1)
+	if err != nil {
+		p.j.counts.failed.Add(1)
+	}
+	p.j.prog.CellDone(i, fp, err)
+}
+
+// Status is the wire view of a job (GET /jobs, GET /jobs/{id}).
+type Status struct {
+	ID     string `json:"id"`
+	Label  string `json:"label,omitempty"`
+	State  string `json:"state"`
+	Cells  int    `json:"cells"`
+	Done   int    `json:"done"`
+	Cached int    `json:"cached"`
+	Failed int    `json:"failed"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Cancel requests cancellation: queued jobs never start, running jobs
+// stop claiming cells (in-flight cells finish and still land in the
+// cache — work done is never thrown away).
+func (j *Job) Cancel() { j.cancelOnce.Do(func() { close(j.cancel) }) }
+
+// Done exposes the job's terminal-state signal (events streaming).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Progress exposes the job's obs tracker (events streaming).
+func (j *Job) Progress() *obs.SweepProgress { return j.prog }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	state, err := j.state, j.err
+	j.mu.Unlock()
+	s := Status{
+		ID: j.ID, Label: j.Label, State: state, Cells: len(j.cells),
+		Done:   int(j.counts.done.Load()),
+		Cached: int(j.counts.cached.Load()),
+		Failed: int(j.counts.failed.Load()),
+	}
+	if err != nil {
+		s.Error = err.Error()
+	}
+	return s
+}
+
+// setState transitions the job; terminal transitions close done.
+func (j *Job) setState(state string, err error) {
+	j.mu.Lock()
+	j.state = state
+	if err != nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+	switch state {
+	case StateDone, StateFailed, StateCanceled:
+		close(j.done)
+	}
+}
+
+// Manager owns the job table and the run slots.
+type Manager struct {
+	cfg   Config
+	slots chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager builds an idle manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1
+	}
+	return &Manager{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxJobs),
+		jobs:  make(map[string]*Job),
+	}
+}
+
+// Submit enumerates the grid (rejecting malformed grids eagerly, before
+// a job ID is ever minted), registers the job, and schedules it. The
+// daemon's instruments are attached server-side; submitted grids are
+// wire-form and carry none.
+func (m *Manager) Submit(g sweep.Grid, label string) (*Job, error) {
+	g.Obs = m.cfg.Obs
+	cells, err := g.Cells()
+	if err != nil {
+		return nil, fmt.Errorf("jobq: submit: %w", err)
+	}
+	if len(cells) == 0 {
+		return nil, errors.New("jobq: submit: grid enumerates no cells")
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.nextID++
+	id := fmt.Sprintf("job-%d", m.nextID)
+	j := &Job{
+		ID: id, Label: label, cells: cells,
+		degrade: len(g.Faults) > 0,
+		prog:    obs.NewSweepProgress(id),
+		cancel:  make(chan struct{}),
+		done:    make(chan struct{}),
+		started: make(chan struct{}),
+		state:   StateQueued,
+	}
+	if n := len(m.order); n > 0 {
+		j.prev = m.jobs[m.order[n-1]]
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	if m.cfg.Multi != nil {
+		m.cfg.Multi.Add(id, j.prog)
+	}
+	go m.run(j)
+	return j, nil
+}
+
+// run is the job goroutine: wait behind earlier submissions, claim a
+// slot, sweep, record the outcome.
+func (m *Manager) run(j *Job) {
+	defer m.wg.Done()
+	if j.prev != nil {
+		select {
+		case <-j.cancel:
+			close(j.started)
+			j.setState(StateCanceled, sweep.ErrCanceled)
+			return
+		case <-j.prev.started:
+		}
+	}
+	select {
+	case <-j.cancel:
+		close(j.started)
+		j.setState(StateCanceled, sweep.ErrCanceled)
+		return
+	case m.slots <- struct{}{}:
+	}
+	close(j.started)
+	defer func() { <-m.slots }()
+	j.setState(StateRunning, nil)
+	results, err := sweep.Run(j.cells, sweep.Options{
+		Workers:  m.cfg.Workers,
+		Cache:    m.cfg.Cache,
+		Cancel:   j.cancel,
+		Progress: jobProgress{j},
+	})
+	switch {
+	case errors.Is(err, sweep.ErrCanceled):
+		j.setState(StateCanceled, err)
+	case err != nil:
+		j.setState(StateFailed, err)
+	default:
+		if j.degrade {
+			sweep.ApplyDegradation(results)
+		}
+		j.mu.Lock()
+		j.results = results
+		j.mu.Unlock()
+		j.setState(StateDone, nil)
+	}
+}
+
+// Get looks up a job.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, UnknownJobError{ID: id}
+	}
+	return j, nil
+}
+
+// Statuses lists all jobs in submission order.
+func (m *Manager) Statuses() []Status {
+	m.mu.Lock()
+	order := append([]string(nil), m.order...)
+	jobs := make([]*Job, len(order))
+	for i, id := range order {
+		jobs[i] = m.jobs[id]
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel cancels the named job.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.Cancel()
+	return nil
+}
+
+// Result returns the finished job's run file: label + cells in
+// canonical order, no timestamp, so the bytes are a pure function of
+// the submitted grid.
+func (m *Manager) Result(id string) (sweep.RunFile, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return sweep.RunFile{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return sweep.RunFile{}, NotDoneError{ID: id, State: j.state}
+	}
+	return sweep.RunFile{Label: j.Label, Cells: j.results}, nil
+}
+
+// Shutdown drains the manager: new submissions are refused, every job
+// is canceled (in-flight cells complete and land in the cache), and
+// Shutdown returns once all job goroutines have exited.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	m.draining = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	m.wg.Wait()
+}

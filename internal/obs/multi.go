@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// MultiProgress fans several SweepProgress trackers — one per sweepd
+// job, jobs may run concurrently — into a single /progress exposition.
+// Cell lines carry the owning job's name in the "job" field, each job
+// contributes its own summary line (Title = job name), and one
+// aggregate summary line (empty Title) trails the exposition with the
+// summed counts. All methods are nil-receiver-safe and safe for
+// concurrent use; trackers may be added while readers stream.
+type MultiProgress struct {
+	mu       sync.Mutex
+	names    []string
+	trackers []*SweepProgress
+}
+
+// NewMultiProgress creates an empty fan-in; Add registers job trackers.
+func NewMultiProgress() *MultiProgress { return &MultiProgress{} }
+
+// Add registers a job's tracker under its job name. Jobs are exposed in
+// registration order — sweepd submission order, which is stable.
+func (m *MultiProgress) Add(name string, p *SweepProgress) {
+	if m == nil || p == nil {
+		return
+	}
+	m.mu.Lock()
+	m.names = append(m.names, name)
+	m.trackers = append(m.trackers, p)
+	m.mu.Unlock()
+}
+
+// jobs snapshots the registered (name, tracker) pairs.
+func (m *MultiProgress) jobs() ([]string, []*SweepProgress) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.names...), append([]*SweepProgress(nil), m.trackers...)
+}
+
+// snapshot renders every job's cells (annotated with the job name) and
+// summary, plus the trailing aggregate summary.
+func (m *MultiProgress) snapshot() (lines []CellLine, sums []SummaryLine, agg SummaryLine) {
+	names, trackers := m.jobs()
+	agg = SummaryLine{Summary: true, EtaMs: 0}
+	etaUnknown := false
+	var maxElapsed, maxEta float64
+	for i, p := range trackers {
+		p.mu.Lock()
+		cl, sum := p.snapshotLocked()
+		p.mu.Unlock()
+		for j := range cl {
+			cl[j].Job = names[i]
+		}
+		sum.Title = names[i]
+		lines = append(lines, cl...)
+		sums = append(sums, sum)
+		agg.Total += sum.Total
+		agg.Done += sum.Done
+		agg.Running += sum.Running
+		agg.Queued += sum.Queued
+		agg.Failed += sum.Failed
+		agg.Cached += sum.Cached
+		if sum.ElapsedMs > maxElapsed {
+			maxElapsed = sum.ElapsedMs
+		}
+		switch {
+		case sum.EtaMs < 0:
+			etaUnknown = true
+		case sum.EtaMs > maxEta:
+			maxEta = sum.EtaMs
+		}
+	}
+	agg.ElapsedMs = maxElapsed
+	// Jobs run concurrently, so the fleet finishes when the slowest job
+	// does: the aggregate ETA is the max over jobs, unknown (-1) while
+	// any unfinished job has no computed completions to extrapolate from.
+	if agg.Done == agg.Total {
+		agg.EtaMs = 0
+	} else if etaUnknown {
+		agg.EtaMs = -1
+	} else {
+		agg.EtaMs = maxEta
+	}
+	return lines, sums, agg
+}
+
+// version folds every tracker's change counter plus the registration
+// count; the follow stream polls it.
+func (m *MultiProgress) version() uint64 {
+	_, trackers := m.jobs()
+	v := uint64(len(trackers))
+	for _, p := range trackers {
+		v += p.version()
+	}
+	return v
+}
+
+// WriteNDJSON writes the full multi-job snapshot: per job, its cell
+// lines then its summary; finally the aggregate summary.
+func (m *MultiProgress) WriteNDJSON(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	lines, sums, agg := m.snapshot()
+	enc := json.NewEncoder(w)
+	emitted := 0
+	for _, sum := range sums {
+		for ; emitted < len(lines) && lines[emitted].Job == sum.Title; emitted++ {
+			if err := enc.Encode(lines[emitted]); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(agg)
+}
+
+// StreamNDJSON writes the snapshot like WriteNDJSON and then keeps
+// streaming state transitions (plus a fresh aggregate summary) at the
+// given poll interval until done closes — a daemon never "finishes",
+// new jobs may arrive at any time, so the client owns the lifetime.
+func (m *MultiProgress) StreamNDJSON(w io.Writer, interval time.Duration, done <-chan struct{}) error {
+	if m == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	if err := m.WriteNDJSON(w); err != nil {
+		return err
+	}
+	if f, ok := w.(flusher); ok {
+		f.Flush()
+	}
+	last := map[string]string{} // job+cell -> state
+	lines, _, _ := m.snapshot()
+	for _, l := range lines {
+		last[l.Job+"\x00"+l.Cell] = l.State
+	}
+	ver := m.version()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-time.After(interval):
+		}
+		if m.version() == ver {
+			continue
+		}
+		ver = m.version()
+		lines, _, agg := m.snapshot()
+		for _, l := range lines {
+			k := l.Job + "\x00" + l.Cell
+			if last[k] != l.State {
+				last[k] = l.State
+				if err := enc.Encode(l); err != nil {
+					return err
+				}
+			}
+		}
+		if err := enc.Encode(agg); err != nil {
+			return err
+		}
+		if f, ok := w.(flusher); ok {
+			f.Flush()
+		}
+	}
+}

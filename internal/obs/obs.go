@@ -139,6 +139,20 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	})
 }
 
+// CounterFunc registers a counter whose value is read at scrape time by
+// fn — for subsystems that already keep their own atomic totals (the
+// result cache's hit/miss/eviction counts) and only need an exposition.
+// fn must be monotonic and safe for concurrent calls. Re-registering
+// the same name keeps the first function.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.register(name, "counter", func() metric {
+		return &counterFunc{nm: name, hp: help, fn: fn}
+	})
+}
+
 // ShardedCounter returns the named counter sharded for the given writer
 // count (typically the rank count P), registering it on first use.
 // Writer i adds through shard i&mask without contending with other
@@ -248,6 +262,20 @@ func (g *gaugeFunc) expose(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", g.nm, fmtFloat(g.fn()))
 }
 func (g *gaugeFunc) snap(s *Snapshot) { s.Gauges[g.nm] = g.fn() }
+
+// counterFunc is a counter read from an external atomic at scrape time.
+type counterFunc struct {
+	nm, hp string
+	fn     func() int64
+}
+
+func (c *counterFunc) metricName() string { return c.nm }
+func (c *counterFunc) metricHelp() string { return c.hp }
+func (c *counterFunc) metricType() string { return "counter" }
+func (c *counterFunc) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.nm, c.fn())
+}
+func (c *counterFunc) snap(s *Snapshot) { s.Counters[c.nm] = c.fn() }
 
 // shard is one cache-line-padded atomic cell: writers on different
 // shards never share a line, the point of the per-rank pattern.

@@ -13,6 +13,9 @@ const (
 	StateRunning = "running"
 	StateDone    = "done"
 	StateFailed  = "failed"
+	// StateCached marks a cell resolved from the result cache: terminal
+	// without ever running (sweepd's dirty-cell-only recompute path).
+	StateCached = "cached"
 )
 
 // SweepProgress tracks per-cell sweep status for the /progress
@@ -28,6 +31,7 @@ type SweepProgress struct {
 	cells   []cellStat
 	done    int
 	running int
+	cached  int
 	// ver increments on every state change; the follow stream uses it
 	// to ship only transitions.
 	ver uint64
@@ -61,7 +65,28 @@ func (p *SweepProgress) Start(keys []string) {
 	for i, k := range keys {
 		p.cells[i] = cellStat{key: k, state: StateQueued}
 	}
-	p.done, p.running = 0, 0
+	p.done, p.running, p.cached = 0, 0, 0
+	p.ver++
+}
+
+// CellCached marks cell i as resolved from the result cache — terminal,
+// instantaneous, never run. Implements sweep.Progress. Cached cells
+// count as done but are excluded from the ETA extrapolation base (they
+// complete in ~0 time and would drag the per-cell mean toward zero).
+func (p *SweepProgress) CellCached(i int, fingerprint string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i < 0 || i >= len(p.cells) {
+		return
+	}
+	c := &p.cells[i]
+	c.state = StateCached
+	c.fingerprint = fingerprint
+	p.done++
+	p.cached++
 	p.ver++
 }
 
@@ -116,6 +141,10 @@ type CellLine struct {
 	Fingerprint string  `json:"fingerprint,omitempty"`
 	Error       string  `json:"error,omitempty"`
 	ElapsedMs   float64 `json:"elapsed_ms,omitempty"`
+	// Job names the owning job on multi-job expositions (sweepd's
+	// /progress fan-in); empty on single-sweep streams, keeping the
+	// workbench NDJSON schema byte-identical to pre-sweepd output.
+	Job string `json:"job,omitempty"`
 }
 
 // SummaryLine is the trailing NDJSON line of /progress: aggregate
@@ -128,9 +157,16 @@ type SummaryLine struct {
 	Running   int     `json:"running"`
 	Queued    int     `json:"queued"`
 	Failed    int     `json:"failed"`
+	// Cached counts cells resolved from the result cache (a subset of
+	// Done); omitted when zero, keeping cache-free sweeps' NDJSON
+	// byte-identical to pre-sweepd output.
+	Cached    int     `json:"cached,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms"`
-	// EtaMs extrapolates time to completion from the mean completed-cell
-	// rate; -1 until the first cell completes.
+	// EtaMs extrapolates time to completion from the mean rate of
+	// *computed* completions — cache hits are instantaneous and excluded
+	// from the base. -1 until the first computed cell completes (no
+	// bogus extrapolation from zero or cache-only completions); 0 once
+	// every cell is terminal, including the all-cells-cached case.
 	EtaMs float64 `json:"eta_ms"`
 }
 
@@ -158,13 +194,19 @@ func (p *SweepProgress) snapshotLocked() ([]CellLine, SummaryLine) {
 		Summary: true, Title: p.title,
 		Total: len(p.cells), Done: p.done, Running: p.running,
 		Queued: len(p.cells) - p.done - p.running, Failed: failed,
+		Cached:    p.cached,
 		ElapsedMs: float64(elapsed) / 1e6, EtaMs: -1,
 	}
-	if p.done > 0 && p.done < len(p.cells) {
-		perCell := elapsed / time.Duration(p.done)
-		sum.EtaMs = float64(perCell*time.Duration(len(p.cells)-p.done)) / 1e6
-	} else if p.done == len(p.cells) {
+	// ETA: remaining cells × mean wall time per computed completion.
+	// Cached completions are excluded from the base — they resolve
+	// instantaneously during the pre-pass and would extrapolate a bogus
+	// near-zero ETA for cells that still have to compute.
+	computed := p.done - p.cached
+	if p.done == len(p.cells) {
 		sum.EtaMs = 0
+	} else if computed > 0 {
+		perCell := elapsed / time.Duration(computed)
+		sum.EtaMs = float64(perCell*time.Duration(len(p.cells)-p.done)) / 1e6
 	}
 	return lines, sum
 }

@@ -2,12 +2,24 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 )
+
+// ProgressReporter is the /progress data source: a single sweep's
+// tracker (*SweepProgress, the workbench) or the multi-job fan-in
+// (*MultiProgress, sweepd). Both render NDJSON snapshots and follow
+// streams.
+type ProgressReporter interface {
+	WriteNDJSON(w io.Writer) error
+	StreamNDJSON(w io.Writer, interval time.Duration, done <-chan struct{}) error
+}
 
 // Server is the HTTP observability plane (`workbench -listen`): the
 // first slice of cmd/sweepd. It serves
@@ -23,36 +35,51 @@ import (
 // boundaries).
 type Server struct {
 	reg  *Registry
-	prog *SweepProgress
+	prog ProgressReporter
+	mux  *http.ServeMux
 	ln   net.Listener
 	srv  *http.Server
+
+	mu    sync.Mutex
+	extra []string // extra route patterns, listed by the index page
 }
 
 // NewServer builds an unstarted server over the given registry and
-// progress tracker (either may be nil; the endpoints degrade to empty
+// progress reporter (either may be nil; the endpoints degrade to empty
 // expositions).
-func NewServer(reg *Registry, prog *SweepProgress) *Server {
+func NewServer(reg *Registry, prog ProgressReporter) *Server {
 	s := &Server{reg: reg, prog: prog}
-	s.srv = &http.Server{Handler: s.Handler()}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/progress", s.handleProgress)
+	// net/http/pprof registers on DefaultServeMux at import; wire the
+	// same handlers onto our private mux instead.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.srv = &http.Server{Handler: s.mux}
 	return s
+}
+
+// Handle mounts an additional route on the observability mux — how
+// cmd/sweepd's job API (POST /jobs, GET /jobs/{id}, ...) extends the
+// plane without owning it. The pattern shows up on the index page.
+// Register routes before Listen; http.ServeMux panics on duplicates,
+// exactly like registering twice on the default mux.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+	s.mu.Lock()
+	s.extra = append(s.extra, pattern)
+	sort.Strings(s.extra)
+	s.mu.Unlock()
 }
 
 // Handler returns the observability mux. Exposed separately so tests
 // can drive it with httptest without opening a socket.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/progress", s.handleProgress)
-	// net/http/pprof registers on DefaultServeMux at import; wire the
-	// same handlers onto our private mux instead.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", s.handleIndex)
-	return mux
-}
+func (s *Server) Handler() http.Handler { return s.mux }
 
 // Listen binds addr (e.g. ":0", "127.0.0.1:9137") and serves in a
 // background goroutine. Addr reports the bound address.
@@ -110,4 +137,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprint(w, "rmalocks observability plane\n\n/metrics\n/progress (?follow=1)\n/debug/pprof/\n")
+	s.mu.Lock()
+	extra := append([]string(nil), s.extra...)
+	s.mu.Unlock()
+	for _, p := range extra {
+		fmt.Fprintln(w, p)
+	}
 }

@@ -32,6 +32,19 @@ func NewRunFile(label string, results []CellResult) RunFile {
 	}
 }
 
+// Encode renders the run in the persisted format: indented JSON plus a
+// trailing newline, exactly the bytes Save writes. cmd/sweepd serves
+// results through this same encoder (with Created left empty) so a
+// fetched result is byte-identical to a local `workbench -out` file
+// modulo the informational timestamp.
+func Encode(rf RunFile) ([]byte, error) {
+	data, err := json.MarshalIndent(rf, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // Save writes the run as indented JSON, creating parent directories as
 // needed (results/ is the conventional home). The write goes through a
 // temporary file and rename, so an interrupted save never leaves a
@@ -40,11 +53,10 @@ func Save(path string, rf RunFile) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("sweep: save %s: %w", path, err)
 	}
-	data, err := json.MarshalIndent(rf, "", "  ")
+	data, err := Encode(rf)
 	if err != nil {
 		return fmt.Errorf("sweep: save %s: %w", path, err)
 	}
-	data = append(data, '\n')
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("sweep: save %s: %w", path, err)

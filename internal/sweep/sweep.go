@@ -15,6 +15,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -65,6 +66,13 @@ func (k Key) String() string {
 type Cell struct {
 	// Key names the cell in reports and baselines.
 	Key Key
+	// Input is the canonical encoding of every result-affecting input
+	// parameter of the cell (see Grid.cellInput): because each cell is a
+	// deterministic function of its inputs, Input is a valid content
+	// address for the cell's result — the cache key of internal/cache.
+	// Empty marks the cell uncacheable (host-dependent MemStats output,
+	// or a trace sink that cannot be serialized).
+	Input string
 	// Spec builds a fresh workload.Spec for one execution. A fresh value
 	// per call is required: Workload implementations carry per-run state
 	// (window offsets, DHT tables), so executions — including the -check
@@ -89,14 +97,42 @@ type Options struct {
 	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Check runs every cell twice and fails the sweep unless both
-	// executions produce byte-identical report fingerprints.
+	// executions produce byte-identical report fingerprints. Check
+	// bypasses Cache lookups (a served result would defeat the
+	// reproducibility verification); verified results are still stored.
 	Check bool
 	// Progress, when non-nil, receives cell lifecycle notifications
 	// (obs.SweepProgress feeds the /progress endpoint). Purely
 	// observational: notifications happen outside cell execution and
 	// never influence scheduling order or results.
 	Progress Progress
+	// Cache, when non-nil, memoizes cell results by their content
+	// address (Cell.Input). Run resolves every cacheable cell against it
+	// up front — hits land in the merged output without executing, so a
+	// warm re-run recomputes only the dirty cells — and stores freshly
+	// computed results back. Because cells are deterministic functions
+	// of their Input, the merged output is byte-identical whether a cell
+	// was served or computed (test-enforced).
+	Cache CellCache
+	// Cancel, when non-nil, aborts the sweep when closed: workers stop
+	// claiming new cells, in-flight cells run to completion (and still
+	// reach the Cache), and Run returns ErrCanceled.
+	Cancel <-chan struct{}
 }
+
+// CellCache memoizes cell results by content address (Cell.Input).
+// Implementations must be safe for concurrent use; internal/cache's
+// ResultStore is the canonical one. Get may miss spuriously (eviction,
+// corruption) — the cell is then recomputed — but a hit must return a
+// result produced by a run of the same Input.
+type CellCache interface {
+	Get(input string) (CellResult, bool)
+	Put(input string, r CellResult)
+}
+
+// ErrCanceled reports a sweep aborted through Options.Cancel. In-flight
+// cells were drained (run to completion); unclaimed cells never ran.
+var ErrCanceled = errors.New("sweep: canceled")
 
 // Progress receives sweep lifecycle notifications. Implementations must
 // be safe for concurrent calls — workers report in parallel. Declared
@@ -108,6 +144,11 @@ type Progress interface {
 	Start(keys []string)
 	// CellRunning marks cell i as executing on some worker.
 	CellRunning(i int)
+	// CellCached marks cell i as resolved from the result cache, with
+	// the cached report fingerprint: the cell reached its terminal state
+	// without ever running. Fired during Run's pre-pass, before any cell
+	// executes.
+	CellCached(i int, fingerprint string)
 	// CellDone marks cell i finished: its report fingerprint on success,
 	// the error otherwise.
 	CellDone(i int, fingerprint string, err error)
@@ -154,7 +195,10 @@ func ForEach(n, workers int, fn func(i int) error) error {
 
 // Run executes every cell on the worker pool and returns the results in
 // the cells' order. Output is byte-identical for any worker count:
-// result slot i belongs to cell i no matter which worker ran it.
+// result slot i belongs to cell i no matter which worker ran it — and,
+// with a Cache attached, no matter which cells were served instead of
+// computed (a cached result is the byte-identical outcome of an earlier
+// run of the same Input).
 func Run(cells []Cell, opts Options) ([]CellResult, error) {
 	if opts.Progress != nil {
 		keys := make([]string, len(cells))
@@ -164,8 +208,36 @@ func Run(cells []Cell, opts Options) ([]CellResult, error) {
 		opts.Progress.Start(keys)
 	}
 	results := make([]CellResult, len(cells))
-	err := ForEach(len(cells), opts.Workers, func(i int) error {
+	// Cache pre-pass: resolve hits up front, so only dirty cells reach
+	// the worker pool and progress knows immediately which cells are
+	// instantaneous (the ETA extrapolates from computed cells only).
+	pending := make([]int, 0, len(cells))
+	for i, c := range cells {
+		if opts.Cache != nil && !opts.Check && c.Input != "" {
+			if r, ok := opts.Cache.Get(c.Input); ok && r.Key == c.Key {
+				results[i] = r
+				if opts.Progress != nil {
+					opts.Progress.CellCached(i, r.Fingerprint)
+				}
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	err := ForEach(len(pending), opts.Workers, func(pi int) error {
+		i := pending[pi]
 		c := cells[i]
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				// Drain semantics: this cell was never claimed for
+				// execution, so progress keeps it queued; cells already
+				// past this check complete normally (and still land in
+				// the cache).
+				return ErrCanceled
+			default:
+			}
+		}
 		if opts.Progress != nil {
 			opts.Progress.CellRunning(i)
 		}
@@ -196,6 +268,9 @@ func Run(cells []Cell, opts Options) ([]CellResult, error) {
 			}
 		}
 		results[i] = CellResult{Key: c.Key, Locks: locks, Report: rep, Fingerprint: fp, Trace: sink}
+		if opts.Cache != nil && c.Input != "" {
+			opts.Cache.Put(c.Input, results[i])
+		}
 		if opts.Progress != nil {
 			opts.Progress.CellDone(i, fp, nil)
 		}
@@ -480,10 +555,29 @@ func (g Grid) Cells() ([]Cell, error) {
 	return cells, nil
 }
 
+// cellInput canonically encodes every result-affecting input of one
+// cell — the cell's content address (Cell.Input). The encoding is
+// versioned: any change to what a cell computes from its inputs must
+// bump the prefix, which cleanly invalidates all persisted cache
+// entries. Cells whose output is host-dependent (MemStats) or carries
+// an unserializable payload (a trace sink) return "" — uncacheable.
+// The grid is filled (fill) before cells are enumerated, so explicit
+// parameters and their defaults encode identically.
+func (g Grid) cellInput(key Key, faultMetrics bool) string {
+	if g.MemStats || g.Trace != 0 {
+		return ""
+	}
+	return fmt.Sprintf("cell/v1 %s ppn=%d iters=%d seed=%d fw=%v locks=%d zipfs=%v think=%d thinkj=%d params=%+v fm=%v engine=%q",
+		key, g.ProcsPerNode, g.Iters, g.Seed, g.FW, g.Locks, g.ZipfS,
+		g.ThinkNs, g.ThinkJitterNs, g.Params, faultMetrics, g.Engine)
+}
+
 func (g Grid) cell(schemeName, wname, pname string, p int, tun scheme.Tunables, fp *fault.Profile, faultMetrics bool) Cell {
+	key := Key{Scheme: schemeName, Workload: wname, Profile: pname, P: p,
+		Tunables: tun.Canonical(), Faults: fp.Canonical()}
 	return Cell{
-		Key: Key{Scheme: schemeName, Workload: wname, Profile: pname, P: p,
-			Tunables: tun.Canonical(), Faults: fp.Canonical()},
+		Key:   key,
+		Input: g.cellInput(key, faultMetrics),
 		Spec: func() (workload.Spec, error) {
 			wl, err := workload.ByName(wname)
 			if err != nil {

@@ -46,7 +46,9 @@ import (
 	"io"
 	"strconv"
 
+	"rmalocks/internal/cache"
 	"rmalocks/internal/fault"
+	"rmalocks/internal/jobq"
 	"rmalocks/internal/locks"
 	"rmalocks/internal/locks/dmcs"
 	"rmalocks/internal/locks/fompi"
@@ -444,6 +446,78 @@ func CompareSweeps(base, cur []SweepCellResult) []SweepDelta {
 // degradation metrics in place: tail-latency inflation (p99_infl,
 // p999_infl) and, for traced grids, the Jain fairness delta.
 func ApplySweepDegradation(results []SweepCellResult) { sweep.ApplyDegradation(results) }
+
+// Sweep service & result cache (cmd/sweepd, internal/cache,
+// internal/jobq; see DESIGN.md "Sweep service & result cache"): grids
+// submitted as JSON over HTTP become jobs on a bounded pool, and cells
+// resolve against a content-addressed result cache keyed by a
+// canonical encoding of everything that affects a cell's result —
+// resubmitting a grid with one changed axis recomputes only the
+// dirtied cells, and results stay byte-identical to a cold local run
+// regardless of cache state, worker count, or job placement.
+type (
+	// ResultCache is the content-addressed cell-result store: an
+	// in-memory LRU under a byte budget backed by a one-file-per-entry
+	// on-disk layout (atomic write-then-rename, corruption-tolerant
+	// load).
+	ResultCache = cache.Store
+	// ResultCacheReport summarizes a cache directory load: entries
+	// found, entries admitted to memory, corrupt files skipped.
+	ResultCacheReport = cache.LoadReport
+	// ResultCacheStats is a point-in-time cache counter snapshot.
+	ResultCacheStats = cache.Stats
+	// SweepCellCache is the cache hook of the sweep engine: RunSweep
+	// consults it per cell when SweepOptions.Cache is set.
+	SweepCellCache = sweep.CellCache
+
+	// JobManager schedules submitted grids as jobs: bounded concurrent
+	// jobs starting in submission order, per-job progress and
+	// cancellation, cache-aware cell scheduling.
+	JobManager = jobq.Manager
+	// JobConfig wires a JobManager: worker-pool width, concurrent-job
+	// bound, cell cache, and observability hooks.
+	JobConfig = jobq.Config
+	// Job is one submitted sweep with its lifecycle state.
+	Job = jobq.Job
+	// JobStatus is the wire view of a job's state and progress counts.
+	JobStatus = jobq.Status
+	// SweepWireError names a grid field that cannot cross the wire.
+	SweepWireError = sweep.WireError
+)
+
+// ErrSweepCanceled is the typed sentinel RunSweep returns when
+// SweepOptions.Cancel fires mid-sweep; match with errors.Is.
+var ErrSweepCanceled = sweep.ErrCanceled
+
+// ErrJobsDraining rejects submissions to a JobManager that is shutting
+// down gracefully; match with errors.Is.
+var ErrJobsDraining = jobq.ErrDraining
+
+// OpenResultCache opens (or creates) a persistent result cache rooted
+// at dir with the given in-memory byte budget (<= 0 selects 64 MiB;
+// entries beyond the budget stay on disk and are reloaded on demand).
+// Corrupt entries are skipped and reported, never fatal.
+func OpenResultCache(dir string, budgetBytes int64) (*ResultCache, ResultCacheReport, error) {
+	return cache.Open(dir, budgetBytes)
+}
+
+// NewSweepCellCache adapts a ResultCache to the sweep engine's cache
+// hook (SweepOptions.Cache / JobConfig.Cache).
+func NewSweepCellCache(c *ResultCache) SweepCellCache { return cache.NewResultStore(c) }
+
+// NewJobManager builds an idle job manager; pair it with jobq.NewAPI
+// to serve the sweepd HTTP job API, or use cmd/sweepd for the
+// assembled daemon.
+func NewJobManager(cfg JobConfig) *JobManager { return jobq.NewManager(cfg) }
+
+// EncodeSweepGrid encodes a grid as the sweepd wire format (POST
+// /jobs). Grids carrying process-local state (trace sinks, MemStats)
+// are rejected with a typed SweepWireError naming the field.
+func EncodeSweepGrid(g SweepGrid) ([]byte, error) { return sweep.EncodeGrid(g) }
+
+// DecodeSweepGrid decodes a wire-format grid, rejecting unknown
+// fields; the decoded grid enumerates exactly the submitter's cells.
+func DecodeSweepGrid(data []byte) (SweepGrid, error) { return sweep.DecodeGrid(data) }
 
 // Tracing & analysis (internal/trace, see DESIGN.md "Tracing &
 // analysis"): deterministic event capture of scheduler handoffs, RMA
